@@ -1,0 +1,56 @@
+"""Fig. 7: index construction time for VAF, BP (BB-forest) and BBT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BrePartitionConfig, BrePartitionIndex, VAFileIndex
+from repro.datasets import load_dataset
+from repro.eval.experiments import experiment_fig07_construction
+
+
+@pytest.fixture(scope="module")
+def report(save_report):
+    rep = experiment_fig07_construction(n=1500)
+    save_report("fig07_construction", rep)
+    return rep
+
+
+def test_fig07_all_datasets_present(report):
+    assert len(report.rows) == 6
+
+
+def test_fig07_vaf_fastest(report):
+    """Paper shape: the VA-file builds fastest on every dataset."""
+    vaf = report.headers.index("VAF")
+    bp = report.headers.index("BP")
+    bbt = report.headers.index("BBT")
+    faster_count = sum(
+        1 for row in report.rows if row[vaf] <= row[bp] and row[vaf] <= row[bbt]
+    )
+    assert faster_count >= 5  # allow one noisy dataset
+
+
+def test_benchmark_vaf_build(benchmark):
+    ds = load_dataset("sift", n=1000, n_queries=5, seed=0)
+    benchmark.pedantic(
+        lambda: VAFileIndex(
+            ds.divergence, bits=8, page_size_bytes=ds.page_size_bytes
+        ).build(ds.points),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_benchmark_bp_build(benchmark):
+    ds = load_dataset("sift", n=1000, n_queries=5, seed=0)
+    benchmark.pedantic(
+        lambda: BrePartitionIndex(
+            ds.divergence,
+            BrePartitionConfig(
+                n_partitions=8, page_size_bytes=ds.page_size_bytes, seed=0
+            ),
+        ).build(ds.points),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Fig. 11: I/O cost vs k for BP, VAF and BBT."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import column, rows_by
+from repro import BBTreeIndex, BrePartitionConfig, BrePartitionIndex, LinearScanIndex
+from repro.datasets import load_dataset
+from repro.eval.experiments import experiment_fig11_12_k_sweep
+
+
+@pytest.fixture(scope="module")
+def report(save_report):
+    rep = experiment_fig11_12_k_sweep(dataset_name="fonts", ks=(20, 40, 60, 80, 100), n=1500)
+    save_report("fig11_io_vs_k", rep)
+    return rep
+
+
+def test_fig11_grid_complete(report):
+    assert len(report.rows) == 5 * 3
+
+
+def test_fig11_bp_beats_linear_scan(report):
+    ds = load_dataset("fonts", n=1500, n_queries=5, seed=0)
+    scan = LinearScanIndex(ds.divergence, page_size_bytes=ds.page_size_bytes).build(ds.points)
+    full = scan.datastore.n_pages
+    bp_ios = column(report, rows_by(report, method="BP"), "io_pages")
+    assert max(bp_ios) < full
+
+
+def test_fig11_io_monotone_in_k(report):
+    for method in ("BP", "VAF", "BBT"):
+        ios = column(report, rows_by(report, method=method), "io_pages")
+        assert ios[0] <= ios[-1] + 1.0  # k=20 <= k=100 (small noise ok)
+
+
+def test_benchmark_bbt_search(benchmark):
+    ds = load_dataset("fonts", n=1500, n_queries=5, seed=0)
+    index = BBTreeIndex(ds.divergence, page_size_bytes=ds.page_size_bytes, seed=0).build(ds.points)
+    benchmark.pedantic(index.search, args=(ds.queries[0], 20), rounds=3, iterations=1)

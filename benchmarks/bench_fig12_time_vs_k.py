@@ -1,0 +1,39 @@
+"""Fig. 12: running time vs k for BP, VAF and BBT (audio proxy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import column, rows_by
+from repro import VAFileIndex
+from repro.datasets import load_dataset
+from repro.eval.experiments import experiment_fig11_12_k_sweep
+
+
+@pytest.fixture(scope="module")
+def report(save_report):
+    rep = experiment_fig11_12_k_sweep(dataset_name="audio", ks=(20, 40, 60, 80, 100), n=1500)
+    save_report("fig12_time_vs_k", rep)
+    return rep
+
+
+def test_fig12_grid_complete(report):
+    assert len(report.rows) == 15
+
+
+def test_fig12_times_positive(report):
+    assert all(t > 0 for t in column(report, report.rows, "time_ms"))
+
+
+def test_fig12_bp_time_competitive(report):
+    """Paper shape: BP's running time beats BBT's on high-dimensional
+    data (both are ball-tree methods; BP searches low-dim subspaces)."""
+    bp = sum(column(report, rows_by(report, method="BP"), "time_ms"))
+    bbt = sum(column(report, rows_by(report, method="BBT"), "time_ms"))
+    assert bp <= bbt * 1.5  # generous: shapes, not absolutes
+
+
+def test_benchmark_vaf_search(benchmark):
+    ds = load_dataset("audio", n=1500, n_queries=5, seed=0)
+    index = VAFileIndex(ds.divergence, bits=8, page_size_bytes=ds.page_size_bytes).build(ds.points)
+    benchmark.pedantic(index.search, args=(ds.queries[0], 20), rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""Fig. 15: the approximate solution (ABP vs exact BP vs Var)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import column, rows_by
+from repro import ApproximateBrePartitionIndex, BrePartitionConfig
+from repro.datasets import load_dataset
+from repro.eval.experiments import experiment_fig15_approximate
+
+
+@pytest.fixture(scope="module")
+def report(save_report):
+    rep = experiment_fig15_approximate(
+        dataset_name="normal", ks=(20, 60, 100), probabilities=(0.7, 0.8, 0.9), n=1500
+    )
+    save_report("fig15_approximate", rep)
+    return rep
+
+
+def test_fig15_grid_complete(report):
+    # 3 k values x (BP + 3 ABP + Var) methods
+    assert len(report.rows) == 3 * 5
+
+
+def test_fig15_exact_bp_ratio_one(report):
+    ratios = column(report, rows_by(report, method="BP"), "overall_ratio")
+    assert all(abs(r - 1.0) < 1e-6 for r in ratios)
+
+
+def test_fig15_overall_ratios_at_least_one(report):
+    assert all(r >= 1.0 - 1e-9 for r in column(report, report.rows, "overall_ratio"))
+
+
+def test_fig15_abp_io_not_above_bp(report):
+    """Paper shape: shrunken radii mean ABP reads no more than exact BP."""
+    for k in (20, 60, 100):
+        bp_io = column(report, rows_by(report, method="BP", k=k), "io_pages")[0]
+        for p in (0.7, 0.8, 0.9):
+            abp_io = column(report, rows_by(report, method=f"ABP(p={p})", k=k), "io_pages")[0]
+            assert abp_io <= bp_io + 1.0
+
+
+def test_fig15_higher_p_higher_accuracy(report):
+    """Paper shape: OR decreases (improves) as p increases, per k."""
+    better = 0
+    for k in (20, 60, 100):
+        lo = column(report, rows_by(report, method="ABP(p=0.7)", k=k), "overall_ratio")[0]
+        hi = column(report, rows_by(report, method="ABP(p=0.9)", k=k), "overall_ratio")[0]
+        if hi <= lo + 1e-9:
+            better += 1
+    assert better >= 2
+
+
+@pytest.mark.parametrize("p", [0.7, 0.9])
+def test_benchmark_abp_search(benchmark, p):
+    ds = load_dataset("normal", n=1500, n_queries=5, seed=0)
+    index = ApproximateBrePartitionIndex(
+        ds.divergence,
+        probability=p,
+        config=BrePartitionConfig(
+            n_partitions=8, page_size_bytes=ds.page_size_bytes, seed=0
+        ),
+    ).build(ds.points)
+    benchmark.pedantic(index.search, args=(ds.queries[0], 20), rounds=3, iterations=1)

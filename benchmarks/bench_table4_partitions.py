@@ -1,0 +1,47 @@
+"""Table 4: cost-model calibration and Theorem 4's optimised M."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval.experiments import experiment_table4_partitions
+from repro.partitioning import calibrate_cost_model, optimal_partitions
+
+
+@pytest.fixture(scope="module")
+def report(save_report):
+    rep = experiment_table4_partitions(n=1500)
+    save_report("table4_partitions", rep)
+    return rep
+
+
+def test_table4_covers_all_datasets(report):
+    assert len(report.rows) == 6
+
+
+def test_table4_m_within_bounds(report):
+    d_col = report.headers.index("d")
+    m_col = report.headers.index("our_M")
+    for row in report.rows:
+        assert 1 <= row[m_col] <= row[d_col]
+
+
+def test_table4_alpha_is_decay(report):
+    a_col = report.headers.index("alpha")
+    for row in report.rows:
+        assert 0.0 < row[a_col] < 1.0
+
+
+def test_benchmark_calibration(benchmark):
+    ds = load_dataset("audio", n=1000, n_queries=5, seed=0)
+
+    def calibrate():
+        params = calibrate_cost_model(
+            ds.divergence, ds.points, n_samples=10, rng=np.random.default_rng(0)
+        )
+        return optimal_partitions(ds.n, ds.d, params)
+
+    m = benchmark.pedantic(calibrate, rounds=2, iterations=1)
+    assert 1 <= m <= ds.d

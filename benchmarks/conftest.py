@@ -1,0 +1,45 @@
+"""Shared benchmark plumbing.
+
+Every benchmark file reproduces one paper table/figure: it runs the
+corresponding experiment from :mod:`repro.eval.experiments`, prints the
+paper-style report, saves it under ``benchmarks/results/`` (the inputs
+to EXPERIMENTS.md), asserts the qualitative shape, and times the hot
+query path with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist and echo an :class:`ExperimentReport`."""
+
+    def _save(slug: str, report) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = report.to_text()
+        (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _save
+
+
+def rows_by(report, **filters):
+    """Filter report rows by header=value pairs."""
+    idx = {h: i for i, h in enumerate(report.headers)}
+    out = []
+    for row in report.rows:
+        if all(row[idx[key]] == value for key, value in filters.items()):
+            out.append(row)
+    return out
+
+
+def column(report, rows, header):
+    """Extract one column from already-filtered rows."""
+    i = report.headers.index(header)
+    return [row[i] for row in rows]

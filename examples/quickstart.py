@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Quickstart: exact Bregman kNN with BrePartition in ~30 lines.
+
+Builds a BrePartition index over positive vectors under the
+Itakura-Saito distance, runs a query, and checks the answer against a
+brute-force scan.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BrePartitionConfig,
+    BrePartitionIndex,
+    ItakuraSaito,
+    brute_force_knn,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 2000 positive 64-dimensional vectors (Itakura-Saito's domain).
+    points = np.exp(rng.normal(0.0, 0.6, size=(2000, 64)))
+    query = np.exp(rng.normal(0.0, 0.6, size=64))
+
+    divergence = ItakuraSaito()
+    config = BrePartitionConfig(seed=0)  # M chosen by Theorem 4
+    index = BrePartitionIndex(divergence, config).build(points)
+    print(f"built {index!r} in {index.construction_seconds:.2f}s "
+          f"(M={index.n_partitions} partitions)")
+
+    result = index.search(query, k=10)
+    print(f"\ntop-10 neighbours (I/O: {result.stats.pages_read} pages, "
+          f"{result.stats.n_candidates} candidates refined):")
+    for pid, div_value in result:
+        print(f"  point {pid:5d}  divergence {div_value:.4f}")
+
+    # BrePartition is exact: verify against brute force.
+    true_ids, true_dists = brute_force_knn(divergence, points, query, 10)
+    assert np.allclose(result.divergences, true_dists), "should be exact!"
+    print("\nverified: identical to brute-force kNN")
+
+
+if __name__ == "__main__":
+    main()

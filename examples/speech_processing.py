@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Speech processing: Itakura-Saito kNN over synthetic power spectra.
+
+The Itakura-Saito distance is the classic dissimilarity for comparing
+speech power spectra (Gray et al. 1980, cited by the paper).  This
+example synthesises spectral envelopes for a few "phoneme classes",
+indexes them with BrePartition, and uses kNN majority vote to classify
+held-out frames -- the kind of pipeline the paper's introduction
+motivates.
+
+Run:  python examples/speech_processing.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import BrePartitionConfig, BrePartitionIndex, ItakuraSaito
+
+
+def synth_spectra(n_per_class: int, n_bands: int, n_classes: int, rng):
+    """Log-normal spectral envelopes with per-class formant patterns."""
+    freqs = np.linspace(0.0, 1.0, n_bands)
+    spectra, labels = [], []
+    for cls in range(n_classes):
+        formants = rng.uniform(0.1, 0.9, size=3)
+        bandwidth = rng.uniform(0.02, 0.08)
+        envelope = sum(
+            np.exp(-((freqs - f) ** 2) / (2 * bandwidth**2)) for f in formants
+        )
+        for _ in range(n_per_class):
+            loudness = np.exp(rng.normal(0.0, 0.8))
+            noise = np.exp(rng.normal(0.0, 0.15, size=n_bands))
+            spectra.append(loudness * (0.05 + envelope) * noise)
+            labels.append(cls)
+    return np.array(spectra), np.array(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n_classes, n_bands = 8, 96
+    spectra, labels = synth_spectra(250, n_bands, n_classes, rng)
+
+    # Hold out 40 frames for classification.
+    test_idx = rng.choice(len(spectra), size=40, replace=False)
+    mask = np.ones(len(spectra), dtype=bool)
+    mask[test_idx] = False
+    train_x, train_y = spectra[mask], labels[mask]
+    test_x, test_y = spectra[test_idx], labels[test_idx]
+
+    index = BrePartitionIndex(
+        ItakuraSaito(), BrePartitionConfig(seed=0, page_size_bytes=32 * 1024)
+    ).build(train_x)
+    print(f"indexed {len(train_x)} spectra, M={index.n_partitions} partitions")
+
+    correct, total_io = 0, 0
+    for frame, true_label in zip(test_x, test_y):
+        result = index.search(frame, k=9)
+        votes = Counter(int(train_y[pid]) for pid in result.ids)
+        predicted = votes.most_common(1)[0][0]
+        correct += int(predicted == true_label)
+        total_io += result.stats.pages_read
+
+    accuracy = correct / len(test_x)
+    print(f"kNN (k=9, Itakura-Saito) phoneme accuracy: {accuracy:.1%}")
+    print(f"mean I/O per query: {total_io / len(test_x):.1f} pages "
+          f"(of {index.datastore.n_pages} total)")
+    assert accuracy > 0.8, "IS-kNN should separate synthetic phoneme classes"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Comparison methods: linear scan, disk-resident BBT, and Var."""
+
+from .bbtree_index import BBTreeIndex
+from .linear_scan import LinearScanIndex, brute_force_knn
+from .var_bbtree import VarBBTreeIndex
+
+__all__ = ["LinearScanIndex", "BBTreeIndex", "VarBBTreeIndex", "brute_force_knn"]

@@ -1,0 +1,17 @@
+"""Bregman-Ball trees (Cayton 2008/2009) and the paper's BB-forest."""
+
+from .dynamic import delete_point, insert_point
+from .forest import BBForest, ForestRangeStats
+from .node import BBTreeNode
+from .tree import BBTree, KnnStats, RangeResult
+
+__all__ = [
+    "BBTree",
+    "BBTreeNode",
+    "BBForest",
+    "ForestRangeStats",
+    "KnnStats",
+    "RangeResult",
+    "insert_point",
+    "delete_point",
+]

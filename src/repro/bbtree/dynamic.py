@@ -1,0 +1,147 @@
+"""Dynamic updates for BB-trees (the paper's future-work extension).
+
+The paper closes by noting BB-forest "support[ing] inserting or deleting
+large-scale data more efficiently" as future work.  This module provides
+that capability at the tree level:
+
+* :func:`insert_point` -- descend to the child whose center is nearest
+  (by the tree's divergence), inflating every ball on the path so the
+  covering invariant holds, append to the reached leaf, and re-split the
+  leaf by two-means when it exceeds capacity.
+* :func:`delete_point` -- remove a point id from its leaf.  Ball radii
+  are left untouched (they remain valid covers, merely conservative), so
+  deletion never breaks search correctness; a periodic rebuild restores
+  tightness.
+
+Both operations preserve the invariants the searches rely on: every
+node's ball covers all points in its subtree, and every point id appears
+in exactly one leaf.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..clustering.bregman_kmeans import bregman_kmeans
+from ..exceptions import InvalidParameterError, StorageError
+from ..geometry.ball import BregmanBall
+from .node import BBTreeNode
+from .tree import BBTree
+
+__all__ = ["insert_point", "delete_point"]
+
+
+def insert_point(tree: BBTree, point: np.ndarray, point_id: int) -> None:
+    """Insert ``point`` with id ``point_id`` into a built tree.
+
+    The point is also appended to the tree's in-memory point storage so
+    subsequent leaf-level evaluations and rebuild-splits see it.
+    """
+    root = tree._require_built()
+    point = np.asarray(point, dtype=float)
+    if point.shape[0] != tree._points.shape[1]:
+        raise InvalidParameterError("point dimensionality mismatch")
+    if int(point_id) in tree._row_of:
+        raise InvalidParameterError(f"point id {point_id} already present")
+
+    # Register the new point in the tree's storage.
+    row = tree._points.shape[0]
+    tree._points = np.vstack([tree._points, point[None, :]])
+    tree._ids = np.concatenate([tree._ids, [int(point_id)]])
+    tree._row_of[int(point_id)] = row
+
+    node = root
+    while True:
+        _inflate(tree, node, point)
+        if node.is_leaf:
+            node.point_ids = np.concatenate([node.point_ids, [int(point_id)]])
+            if node.point_ids.shape[0] > tree.leaf_capacity:
+                _split_leaf(tree, node)
+            return
+        # Descend to the child with the nearer center (divergence to
+        # center, matching the construction's assignment rule).
+        left, right = node.left, node.right
+        d_left = tree.divergence.divergence(point, left.ball.center)
+        d_right = tree.divergence.divergence(point, right.ball.center)
+        node = left if d_left <= d_right else right
+
+
+def delete_point(tree: BBTree, point_id: int) -> None:
+    """Remove ``point_id`` from the tree.
+
+    The point remains in the in-memory storage array (ids are the source
+    of truth); balls keep their radii, staying valid covers.
+    """
+    root = tree._require_built()
+    if int(point_id) not in tree._row_of:
+        raise StorageError(f"point id {point_id} not in tree")
+
+    target_row = tree._row_of[int(point_id)]
+    point = tree._points[target_row]
+    # Walk down guided by ball membership; fall back to exhaustive leaf
+    # scan if the geometric walk misses (possible after many updates).
+    leaf = _find_leaf(tree, root, point, int(point_id))
+    if leaf is None:
+        leaf = _scan_for_leaf(root, int(point_id))
+    if leaf is None:  # pragma: no cover - defended by _row_of check
+        raise StorageError(f"point id {point_id} not found in any leaf")
+    leaf.point_ids = leaf.point_ids[leaf.point_ids != int(point_id)]
+    del tree._row_of[int(point_id)]
+
+
+def _inflate(tree: BBTree, node: BBTreeNode, point: np.ndarray) -> None:
+    """Grow the node's ball (if needed) to cover ``point``."""
+    dist = tree.divergence.divergence(point, node.ball.center)
+    if dist > node.ball.radius:
+        node.ball = BregmanBall(center=node.ball.center, radius=dist)
+
+
+def _split_leaf(tree: BBTree, leaf: BBTreeNode) -> None:
+    """Split an overfull leaf into two children by Bregman two-means."""
+    rows = np.array([tree._row_of[int(pid)] for pid in leaf.point_ids])
+    subset = tree._points[rows]
+    result = bregman_kmeans(tree.divergence, subset, k=2, rng=tree.rng, max_iter=25)
+    left_mask = result.labels == 0
+    if left_mask.all() or not left_mask.any():
+        half = rows.shape[0] // 2
+        left_mask = np.zeros(rows.shape[0], dtype=bool)
+        left_mask[:half] = True
+
+    def _make_child(mask: np.ndarray) -> BBTreeNode:
+        ids = leaf.point_ids[mask]
+        ball = BregmanBall.covering(tree.divergence, subset[mask])
+        return BBTreeNode(ball=ball, point_ids=ids, depth=leaf.depth + 1)
+
+    leaf.left = _make_child(left_mask)
+    leaf.right = _make_child(~left_mask)
+    leaf.point_ids = None  # becomes internal
+
+
+def _find_leaf(tree: BBTree, node: BBTreeNode, point: np.ndarray, point_id: int):
+    """Geometric walk to the leaf holding ``point_id`` (None if missed)."""
+    if node.is_leaf:
+        return node if point_id in node.point_ids else None
+    for child in (node.left, node.right):
+        if child is None:
+            continue
+        if child.ball.contains(tree.divergence, point):
+            found = _find_leaf(tree, child, point, point_id)
+            if found is not None:
+                return found
+    return None
+
+
+def _scan_for_leaf(node: BBTreeNode, point_id: int):
+    """Exhaustive leaf scan fallback."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            if point_id in current.point_ids:
+                return current
+        else:
+            if current.left is not None:
+                stack.append(current.left)
+            if current.right is not None:
+                stack.append(current.right)
+    return None

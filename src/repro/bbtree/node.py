@@ -1,0 +1,66 @@
+"""Nodes of the Bregman-Ball tree.
+
+Mirrors the paper's Fig. 5: intermediate nodes store their cluster's
+center and radius; leaf nodes additionally store the ids (and, once a
+:class:`~repro.storage.datastore.DataStore` layout exists, the disk
+addresses) of the points in their cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..geometry.ball import BregmanBall
+
+__all__ = ["BBTreeNode"]
+
+
+class BBTreeNode:
+    """A node of a BB-tree: a Bregman ball plus children or point ids."""
+
+    __slots__ = ("ball", "left", "right", "point_ids", "depth")
+
+    def __init__(
+        self,
+        ball: BregmanBall,
+        left: Optional["BBTreeNode"] = None,
+        right: Optional["BBTreeNode"] = None,
+        point_ids: Optional[np.ndarray] = None,
+        depth: int = 0,
+    ) -> None:
+        self.ball = ball
+        self.left = left
+        self.right = right
+        self.point_ids = point_ids
+        self.depth = depth
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether the node holds points directly."""
+        return self.point_ids is not None
+
+    def count_nodes(self) -> int:
+        """Total nodes in the subtree (for index statistics)."""
+        total = 1
+        if self.left is not None:
+            total += self.left.count_nodes()
+        if self.right is not None:
+            total += self.right.count_nodes()
+        return total
+
+    def height(self) -> int:
+        """Height of the subtree (leaf = 0)."""
+        if self.is_leaf:
+            return 0
+        heights = []
+        if self.left is not None:
+            heights.append(self.left.height())
+        if self.right is not None:
+            heights.append(self.right.height())
+        return 1 + max(heights, default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = f"leaf[{len(self.point_ids)}]" if self.is_leaf else "internal"
+        return f"BBTreeNode({kind}, depth={self.depth}, {self.ball!r})"

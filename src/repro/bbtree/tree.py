@@ -1,0 +1,331 @@
+"""Bregman-Ball tree (Cayton, ICML 2008) with range queries (NIPS 2009).
+
+The tree hierarchically decomposes a point set by recursive Bregman
+two-means.  Every node covers its subtree's points with a Bregman ball
+(center = Bregman centroid, radius = max divergence to center), so the
+dual-geodesic projection of :mod:`repro.geometry.projection` yields a
+certified lower bound on the divergence from any subtree point to a
+query.  Two search modes:
+
+* :meth:`BBTree.knn` -- exact branch-and-bound k-nearest-neighbour search
+  (the paper's "BBT" baseline when run on the full-dimensional data with
+  a disk-backed fetcher).
+* :meth:`BBTree.range_query` -- all points within a divergence radius of
+  the query, at cluster granularity (the filter step of BrePartition) or
+  exact point granularity (``point_filter=True``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..clustering.bregman_kmeans import bregman_kmeans
+from ..divergences.base import DecomposableBregmanDivergence
+from ..exceptions import InvalidParameterError, NotFittedError
+from ..geometry.ball import BregmanBall
+from ..geometry.projection import ball_intersects_range, min_divergence_to_ball
+from .node import BBTreeNode
+
+__all__ = ["BBTree", "KnnStats", "RangeResult"]
+
+#: tie-breaker for the best-first heap (nodes are not comparable).
+_heap_counter = itertools.count()
+
+
+@dataclass
+class KnnStats:
+    """Diagnostics for one kNN search."""
+
+    nodes_examined: int = 0
+    leaves_visited: int = 0
+    points_evaluated: int = 0
+
+
+@dataclass
+class RangeResult:
+    """Outcome of a range query."""
+
+    point_ids: np.ndarray
+    leaves_visited: int = 0
+    nodes_examined: int = 0
+
+
+class BBTree:
+    """A Bregman-Ball tree over a (sub)space of the dataset.
+
+    Parameters
+    ----------
+    divergence:
+        Decomposable divergence measuring (sub)vector dissimilarity.
+    leaf_capacity:
+        Maximum points per leaf (paper Section 5.1 treats n/C as roughly
+        constant; benchmarks size this from the page geometry).
+    rng:
+        Randomness for the two-means splits.
+    lb_max_iter, lb_tol:
+        Bisection budget for node lower bounds; any budget still yields
+        certified (if looser) bounds.
+    """
+
+    def __init__(
+        self,
+        divergence: DecomposableBregmanDivergence,
+        leaf_capacity: int = 64,
+        rng: np.random.Generator | None = None,
+        lb_max_iter: int = 40,
+        lb_tol: float = 1e-7,
+    ) -> None:
+        if leaf_capacity < 1:
+            raise InvalidParameterError("leaf_capacity must be >= 1")
+        self.divergence = divergence
+        self.leaf_capacity = int(leaf_capacity)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.lb_max_iter = int(lb_max_iter)
+        self.lb_tol = float(lb_tol)
+        self.root: Optional[BBTreeNode] = None
+        self._points: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def build(self, points: np.ndarray, point_ids: np.ndarray | None = None) -> "BBTree":
+        """Build the tree over ``points`` (ids default to row numbers)."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n = points.shape[0]
+        if n == 0:
+            raise InvalidParameterError("cannot build a BB-tree over zero points")
+        if point_ids is None:
+            point_ids = np.arange(n)
+        point_ids = np.asarray(point_ids, dtype=int)
+        if point_ids.shape[0] != n:
+            raise InvalidParameterError("point_ids must match the number of points")
+        self._points = points
+        self._ids = point_ids
+        # Index points by storage row for leaf-level evaluation.
+        self._row_of = {int(pid): row for row, pid in enumerate(point_ids)}
+        self.root = self._build_node(np.arange(n), depth=0)
+        return self
+
+    def _build_node(self, rows: np.ndarray, depth: int) -> BBTreeNode:
+        assert self._points is not None
+        subset = self._points[rows]
+        ball = BregmanBall.covering(self.divergence, subset)
+        if rows.shape[0] <= self.leaf_capacity:
+            return BBTreeNode(ball=ball, point_ids=self._ids[rows], depth=depth)
+
+        result = bregman_kmeans(self.divergence, subset, k=2, rng=self.rng, max_iter=25)
+        left_mask = result.labels == 0
+        # Degenerate split (duplicates / collapsed clusters): halve arbitrarily
+        # so construction always terminates.
+        if left_mask.all() or not left_mask.any():
+            half = rows.shape[0] // 2
+            left_mask = np.zeros(rows.shape[0], dtype=bool)
+            left_mask[:half] = True
+        left = self._build_node(rows[left_mask], depth + 1)
+        right = self._build_node(rows[~left_mask], depth + 1)
+        return BBTreeNode(ball=ball, left=left, right=right, depth=depth)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def _require_built(self) -> BBTreeNode:
+        if self.root is None:
+            raise NotFittedError("BBTree.build() must be called before searching")
+        return self.root
+
+    def leaves(self) -> List[BBTreeNode]:
+        """Leaf nodes in DFS order (defines the disk layout)."""
+        root = self._require_built()
+        out: List[BBTreeNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                # Push right first so left is processed first (stable DFS).
+                if node.right is not None:
+                    stack.append(node.right)
+                if node.left is not None:
+                    stack.append(node.left)
+        return out
+
+    def leaf_order(self) -> np.ndarray:
+        """Point ids concatenated in leaf DFS order (clustered layout)."""
+        return np.concatenate([leaf.point_ids for leaf in self.leaves()])
+
+    def count_nodes(self) -> int:
+        """Total number of nodes."""
+        return self._require_built().count_nodes()
+
+    def height(self) -> int:
+        """Tree height."""
+        return self._require_built().height()
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def _lower_bound(self, node: BBTreeNode, query: np.ndarray) -> float:
+        return min_divergence_to_ball(
+            self.divergence,
+            node.ball.center,
+            node.ball.radius,
+            query,
+            tol=self.lb_tol,
+            max_iter=self.lb_max_iter,
+        )
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        fetcher: Callable[[np.ndarray], np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, KnnStats]:
+        """Exact k-nearest neighbours by best-first branch and bound.
+
+        Parameters
+        ----------
+        query:
+            Query vector in this tree's (sub)space.
+        k:
+            Number of neighbours.
+        fetcher:
+            Optional ``ids -> vectors`` callable used to materialise leaf
+            points; pass a :meth:`DataStore.fetch <repro.storage.datastore.DataStore.fetch>`
+            bound method to charge simulated I/O (the disk-resident "BBT"
+            baseline).  Defaults to the in-memory build-time points.
+
+        Returns
+        -------
+        (ids, divergences, stats) sorted by increasing divergence.
+        """
+        root = self._require_built()
+        query = np.asarray(query, dtype=float)
+        if k < 1:
+            raise InvalidParameterError("k must be >= 1")
+        stats = KnnStats()
+
+        # Max-heap of current best (negated divergence, id).
+        best: list[tuple[float, int]] = []
+        frontier: list[tuple[float, int, BBTreeNode]] = [
+            (self._lower_bound(root, query), next(_heap_counter), root)
+        ]
+        while frontier:
+            lb, _, node = heapq.heappop(frontier)
+            stats.nodes_examined += 1
+            if len(best) == k and lb >= -best[0][0]:
+                break
+            if node.is_leaf:
+                stats.leaves_visited += 1
+                ids = node.point_ids
+                if fetcher is not None:
+                    vectors = fetcher(ids)
+                else:
+                    rows = np.array([self._row_of[int(pid)] for pid in ids])
+                    vectors = self._points[rows]
+                dists = self.divergence.batch_divergence(vectors, query)
+                stats.points_evaluated += len(ids)
+                for dist, pid in zip(dists, ids):
+                    entry = (-float(dist), int(pid))
+                    if len(best) < k:
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heapreplace(best, entry)
+            else:
+                for child in (node.left, node.right):
+                    if child is None:
+                        continue
+                    child_lb = self._lower_bound(child, query)
+                    if len(best) < k or child_lb < -best[0][0]:
+                        heapq.heappush(frontier, (child_lb, next(_heap_counter), child))
+
+        ordered = sorted(((-neg, pid) for neg, pid in best))
+        ids = np.array([pid for _, pid in ordered], dtype=int)
+        dists = np.array([dist for dist, _ in ordered], dtype=float)
+        return ids, dists, stats
+
+    def range_query(
+        self,
+        query: np.ndarray,
+        radius: float,
+        point_filter: bool = False,
+    ) -> RangeResult:
+        """All candidate points with ``D(x, query) <= radius``.
+
+        With ``point_filter=False`` (paper semantics) the result is every
+        point in a leaf whose ball may intersect the range -- a superset,
+        at cluster granularity, matching the candidate sets BrePartition
+        fetches from disk.  With ``point_filter=True`` the in-memory
+        subspace points are checked exactly (used by tests and the
+        leaf-exact ablation).
+        """
+        root = self._require_built()
+        query = np.asarray(query, dtype=float)
+        if radius < 0.0:
+            return RangeResult(point_ids=np.empty(0, dtype=int))
+        result_ids: list[np.ndarray] = []
+        stats_nodes = 0
+        stats_leaves = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            stats_nodes += 1
+            # Early-exit intersection test (Cayton 2009): cheaper than the
+            # full projection and still sound.
+            if not ball_intersects_range(
+                self.divergence,
+                node.ball.center,
+                node.ball.radius,
+                query,
+                radius,
+                max_iter=self.lb_max_iter,
+            ):
+                continue
+            if node.is_leaf:
+                stats_leaves += 1
+                ids = node.point_ids
+                if point_filter:
+                    rows = np.array([self._row_of[int(pid)] for pid in ids])
+                    dists = self.divergence.batch_divergence(self._points[rows], query)
+                    ids = ids[dists <= radius]
+                if len(ids):
+                    result_ids.append(ids)
+            else:
+                if node.left is not None:
+                    stack.append(node.left)
+                if node.right is not None:
+                    stack.append(node.right)
+        ids = (
+            np.concatenate(result_ids)
+            if result_ids
+            else np.empty(0, dtype=int)
+        )
+        return RangeResult(point_ids=ids, leaves_visited=stats_leaves, nodes_examined=stats_nodes)
+
+    # ------------------------------------------------------------------
+    # dynamic updates (paper future work; see repro.bbtree.dynamic)
+    # ------------------------------------------------------------------
+
+    def insert(self, point: np.ndarray, point_id: int) -> None:
+        """Insert a new point into the built tree (covering invariant kept)."""
+        from .dynamic import insert_point
+
+        insert_point(self, point, point_id)
+
+    def delete(self, point_id: int) -> None:
+        """Remove a point id from the built tree."""
+        from .dynamic import delete_point
+
+        delete_point(self, point_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "built" if self.root is not None else "empty"
+        return f"BBTree({self.divergence.name}, leaf_capacity={self.leaf_capacity}, {state})"

@@ -1,0 +1,140 @@
+"""Command-line interface: ``brepartition``.
+
+Subcommands
+-----------
+``info``
+    List available datasets (with the paper's Table 4 scale) and
+    divergences.
+``search``
+    Build an index over a named dataset and run the query workload,
+    printing the paper's metrics.
+``experiment``
+    Run one of the paper's tables/figures and print the report
+    (same engine as ``benchmarks/run_all.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .baselines.bbtree_index import BBTreeIndex
+from .baselines.linear_scan import LinearScanIndex
+from .core.approximate import ApproximateBrePartitionIndex
+from .core.config import BrePartitionConfig
+from .core.index import BrePartitionIndex
+from .datasets.proxies import PAPER_SCALE, available_datasets, load_dataset
+from .divergences.registry import available_divergences
+from .eval.experiments import ALL_EXPERIMENTS
+from .eval.harness import WorkloadResult, run_workload
+from .eval.reporting import format_table
+from .vafile.vafile import VAFileIndex
+
+__all__ = ["main"]
+
+_METHODS = ("bp", "abp", "vaf", "bbt", "scan")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="brepartition",
+        description="BrePartition reproduction: high-dimensional Bregman kNN",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets and divergences")
+
+    search = sub.add_parser("search", help="run a kNN workload on a dataset")
+    search.add_argument("dataset", choices=available_datasets())
+    search.add_argument("--method", choices=_METHODS, default="bp")
+    search.add_argument("--n", type=int, default=2000, help="dataset size")
+    search.add_argument("--k", type=int, default=20)
+    search.add_argument("--queries", type=int, default=10)
+    search.add_argument("--partitions", type=int, default=None, help="M (default: Theorem 4)")
+    search.add_argument("--probability", type=float, default=0.9, help="ABP guarantee p")
+    search.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser("experiment", help="reproduce a paper table/figure")
+    experiment.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+    return parser
+
+
+def _cmd_info() -> int:
+    rows = []
+    for name in available_datasets():
+        scale = PAPER_SCALE.get(name, {})
+        rows.append(
+            [
+                name,
+                scale.get("n", "-"),
+                scale.get("d", "-"),
+                scale.get("measure", "-"),
+                scale.get("page", "-"),
+                scale.get("M", "-"),
+            ]
+        )
+    print("datasets (paper-scale metadata from Table 4):")
+    print(format_table(["dataset", "paper_n", "d", "measure", "page", "paper_M"], rows))
+    print("\ndivergences:", ", ".join(available_divergences()))
+    return 0
+
+
+def _make_index(args, dataset):
+    config = BrePartitionConfig(
+        n_partitions=args.partitions,
+        page_size_bytes=dataset.page_size_bytes,
+        seed=args.seed,
+    )
+    if args.method == "bp":
+        return BrePartitionIndex(dataset.divergence, config)
+    if args.method == "abp":
+        return ApproximateBrePartitionIndex(
+            dataset.divergence, probability=args.probability, config=config
+        )
+    if args.method == "vaf":
+        return VAFileIndex(
+            dataset.divergence, bits=8, page_size_bytes=dataset.page_size_bytes
+        )
+    if args.method == "bbt":
+        return BBTreeIndex(
+            dataset.divergence, page_size_bytes=dataset.page_size_bytes, seed=args.seed
+        )
+    return LinearScanIndex(dataset.divergence, page_size_bytes=dataset.page_size_bytes)
+
+
+def _cmd_search(args) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    print(f"dataset: {dataset!r} ({dataset.description})")
+    index = _make_index(args, dataset)
+    index.build(dataset.points)
+    if isinstance(index, BrePartitionIndex):
+        print(f"built in {index.construction_seconds:.2f}s, M={index.n_partitions}")
+    else:
+        print(f"built in {index.construction_seconds:.2f}s")
+    result = run_workload(index, dataset, k=args.k, method_name=args.method.upper())
+    print(format_table(WorkloadResult.headers(), [result.row()]))
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    report = ALL_EXPERIMENTS[name]()
+    print(report.to_text())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``brepartition`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name)
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Bregman clustering used to build BB-trees."""
+
+from .bregman_kmeans import KMeansResult, bregman_kmeans, plusplus_seeds
+
+__all__ = ["KMeansResult", "bregman_kmeans", "plusplus_seeds"]

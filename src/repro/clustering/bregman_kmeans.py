@@ -1,0 +1,142 @@
+"""Bregman k-means clustering (Banerjee et al., JMLR 2005).
+
+BB-trees are built by recursive two-means decomposition (Cayton 2008);
+this module provides the general-`k` algorithm.  The key fact making the
+algorithm exact for any Bregman divergence is that the minimiser of
+``sum_i D_f(x_i, c)`` over ``c`` (center in the *second* argument) is the
+arithmetic mean of the cluster, independent of ``f``.
+
+Seeding follows the k-means++ recipe with squared-Euclidean replaced by
+the target divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..divergences.base import BregmanDivergence
+from ..exceptions import InvalidParameterError
+
+__all__ = ["KMeansResult", "bregman_kmeans", "plusplus_seeds"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of a k-means run."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centers.shape[0]
+
+
+def plusplus_seeds(
+    divergence: BregmanDivergence,
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """k-means++-style seeding under a Bregman divergence.
+
+    The first seed is uniform; each subsequent seed is drawn with
+    probability proportional to the divergence from the point to its
+    nearest chosen seed.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = points.shape[0]
+    seeds = [int(rng.integers(n))]
+    min_div = divergence.batch_divergence(points, points[seeds[0]])
+    while len(seeds) < k:
+        total = float(np.sum(min_div))
+        if total <= 0.0:
+            # All remaining points coincide with a seed; fill uniformly.
+            remaining = np.setdiff1d(np.arange(n), np.array(seeds))
+            extra = rng.choice(remaining, size=k - len(seeds), replace=False)
+            seeds.extend(int(e) for e in extra)
+            break
+        probs = min_div / total
+        candidate = int(rng.choice(n, p=probs))
+        if candidate in seeds:
+            continue
+        seeds.append(candidate)
+        min_div = np.minimum(min_div, divergence.batch_divergence(points, points[candidate]))
+    return points[np.array(seeds[:k])]
+
+
+def bregman_kmeans(
+    divergence: BregmanDivergence,
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator | None = None,
+    max_iter: int = 50,
+    tol: float = 1e-7,
+) -> KMeansResult:
+    """Lloyd iterations under a Bregman divergence.
+
+    Parameters
+    ----------
+    divergence:
+        Any Bregman divergence (centroids are means regardless).
+    points:
+        Data matrix ``(n, d)``; all rows must lie in the divergence domain.
+    k:
+        Number of clusters, ``1 <= k <= n``.
+    rng:
+        Source of randomness for seeding (default: fresh generator).
+    max_iter, tol:
+        Stop after ``max_iter`` iterations or when the relative inertia
+        improvement drops below ``tol``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    centers = plusplus_seeds(divergence, points, k, rng)
+    labels = np.zeros(n, dtype=int)
+    prev_inertia = np.inf
+    inertia = np.inf
+    iteration = 0
+
+    for iteration in range(1, max_iter + 1):
+        # Assignment step: nearest center under D_f(x, c).
+        dists = np.stack(
+            [divergence.batch_divergence(points, center) for center in centers], axis=1
+        )
+        labels = np.argmin(dists, axis=1)
+        inertia = float(np.sum(dists[np.arange(n), labels]))
+
+        # Update step: arithmetic means; reseed empty clusters to the
+        # point currently farthest from its center.
+        new_centers = centers.copy()
+        for j in range(k):
+            members = points[labels == j]
+            if members.shape[0] == 0:
+                farthest = int(np.argmax(dists[np.arange(n), labels]))
+                new_centers[j] = points[farthest]
+            else:
+                new_centers[j] = members.mean(axis=0)
+
+        if prev_inertia - inertia <= tol * max(prev_inertia, 1e-30):
+            centers = new_centers
+            break
+        centers = new_centers
+        prev_inertia = inertia
+
+    # Re-assign against the final centers so labels and centers are
+    # mutually consistent (Lloyd's update happens after assignment).
+    dists = np.stack(
+        [divergence.batch_divergence(points, center) for center in centers], axis=1
+    )
+    labels = np.argmin(dists, axis=1)
+    inertia = float(np.sum(dists[np.arange(n), labels]))
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=iteration)

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the BrePartition index and ABP."""
+
+from .approximate import ApproximateBrePartitionIndex, BetaXYModel
+from .config import BrePartitionConfig
+from .index import BrePartitionIndex
+from .results import QueryStats, SearchResult
+from .transforms import SearchBounds, SubspaceTransforms, determine_search_bounds
+
+__all__ = [
+    "BrePartitionIndex",
+    "ApproximateBrePartitionIndex",
+    "BetaXYModel",
+    "BrePartitionConfig",
+    "QueryStats",
+    "SearchResult",
+    "SubspaceTransforms",
+    "SearchBounds",
+    "determine_search_bounds",
+]

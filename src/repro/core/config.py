@@ -1,0 +1,80 @@
+"""Configuration for :class:`~repro.core.index.BrePartitionIndex`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..exceptions import InvalidParameterError
+from ..partitioning.contiguous import ContiguousPartitioner
+from ..partitioning.pccp import PCCPPartitioner
+from ..partitioning.scheme import PartitionStrategy
+
+__all__ = ["BrePartitionConfig"]
+
+
+@dataclass
+class BrePartitionConfig:
+    """Tunables of the partition-filter-refinement pipeline.
+
+    Parameters
+    ----------
+    n_partitions:
+        The paper's ``M``.  ``None`` (default) calibrates the cost model
+        on the data and applies Theorem 4.
+    strategy:
+        ``"pccp"`` (default, the paper's recommended strategy),
+        ``"contiguous"`` (the ablation baseline), or any
+        :class:`~repro.partitioning.scheme.PartitionStrategy` instance.
+    page_size_bytes:
+        Simulated disk page size (paper Table 4: 32KB-128KB).
+    leaf_capacity:
+        Points per BB-tree leaf; ``None`` derives it from the page
+        geometry so one leaf fetch is roughly one page.
+    point_filter:
+        When ``True``, subspace range queries filter candidates exactly
+        at the leaves instead of returning whole clusters (an ablation;
+        the paper uses cluster granularity).
+    calibration_samples:
+        Sample size for fitting ``A``, ``alpha``, ``beta``.
+    seed:
+        Seeds every random choice (two-means, PCCP draws, seed-subspace
+        selection) for reproducible builds.
+    """
+
+    n_partitions: Optional[int] = None
+    strategy: Union[str, PartitionStrategy] = "pccp"
+    page_size_bytes: int = 65536
+    leaf_capacity: Optional[int] = None
+    point_filter: bool = False
+    calibration_samples: int = 50
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_partitions is not None and self.n_partitions < 1:
+            raise InvalidParameterError("n_partitions must be >= 1 (or None for auto)")
+        if self.page_size_bytes < 64:
+            raise InvalidParameterError("page_size_bytes unreasonably small")
+        if self.leaf_capacity is not None and self.leaf_capacity < 1:
+            raise InvalidParameterError("leaf_capacity must be >= 1 (or None for auto)")
+        if self.calibration_samples < 2:
+            raise InvalidParameterError("calibration_samples must be >= 2")
+
+    def make_strategy(self, rng) -> PartitionStrategy:
+        """Resolve the strategy field to an instance."""
+        if isinstance(self.strategy, PartitionStrategy):
+            return self.strategy
+        name = str(self.strategy).lower()
+        if name == "pccp":
+            return PCCPPartitioner(rng=rng)
+        if name == "contiguous":
+            return ContiguousPartitioner()
+        raise InvalidParameterError(
+            f"unknown strategy {self.strategy!r}; use 'pccp', 'contiguous' or an instance"
+        )
+
+    def leaf_capacity_for(self, dimensionality: int) -> int:
+        """Leaf capacity: explicit, or one disk page's worth of points."""
+        if self.leaf_capacity is not None:
+            return self.leaf_capacity
+        return max(8, self.page_size_bytes // (8 * dimensionality))

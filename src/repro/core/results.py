@@ -1,0 +1,52 @@
+"""Result and statistics records returned by the search APIs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["QueryStats", "SearchResult"]
+
+
+@dataclass
+class QueryStats:
+    """Per-query diagnostics common to all indexes in this library."""
+
+    #: simulated disk pages read (the paper's "I/O cost" metric).
+    pages_read: int = 0
+    #: wall-clock seconds of the search (the paper's "running time").
+    cpu_seconds: float = 0.0
+    #: number of candidate points refined.
+    n_candidates: int = 0
+    #: total searching bound (BrePartition; 0 for other indexes).
+    search_bound: float = 0.0
+    #: candidates produced by each subspace before the union.
+    per_subspace_candidates: List[int] = field(default_factory=list)
+    #: BB-tree leaves visited across all subspaces.
+    leaves_visited: int = 0
+    #: points whose exact divergence was evaluated.
+    points_evaluated: int = 0
+
+
+@dataclass
+class SearchResult:
+    """k nearest neighbours, sorted by increasing divergence."""
+
+    ids: np.ndarray
+    divergences: np.ndarray
+    stats: QueryStats
+
+    def __post_init__(self) -> None:
+        self.ids = np.asarray(self.ids, dtype=int)
+        self.divergences = np.asarray(self.divergences, dtype=float)
+
+    @property
+    def k(self) -> int:
+        """Number of neighbours returned."""
+        return int(self.ids.size)
+
+    def __iter__(self):
+        """Iterate ``(id, divergence)`` pairs."""
+        return iter(zip(self.ids.tolist(), self.divergences.tolist()))

@@ -1,0 +1,101 @@
+"""Per-subspace precomputation (paper Algorithms 2-4 at dataset scale).
+
+:class:`SubspaceTransforms` bundles, for every subspace of a
+partitioning: the restricted divergence, and the precomputed point
+summaries ``(alpha_x, gamma_x)`` for all ``n`` points.  At query time it
+produces the M query triples and the ``(n, M)`` matrix of Theorem-1
+upper bounds, from which :func:`determine_search_bounds` (Algorithm 4,
+``QBDetermine``) extracts the per-subspace range radii.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..divergences.base import DecomposableBregmanDivergence
+from ..exceptions import InvalidParameterError
+from ..geometry import bounds as bd
+from ..partitioning.scheme import Partitioning
+
+__all__ = ["SubspaceTransforms", "SearchBounds", "determine_search_bounds"]
+
+
+@dataclass
+class SearchBounds:
+    """Output of Algorithm 4: the per-subspace searching radii.
+
+    ``radii[i]`` is the i-th subspace's range-query radius (the
+    components of the k-th smallest total upper bound); ``total`` is
+    their sum, and ``anchor_id`` the point whose bound was selected.
+    """
+
+    radii: np.ndarray
+    total: float
+    anchor_id: int
+
+
+class SubspaceTransforms:
+    """Precomputed tuples ``P(x)`` for every point in every subspace."""
+
+    def __init__(
+        self,
+        divergence: DecomposableBregmanDivergence,
+        partitioning: Partitioning,
+        points: np.ndarray,
+    ) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        self.divergence = divergence
+        self.partitioning = partitioning
+        self.n_points = points.shape[0]
+        self.sub_divergences: List[DecomposableBregmanDivergence] = []
+        alphas = []
+        gammas = []
+        for dims in partitioning.subspaces:
+            sub_div = divergence.restrict(dims)
+            self.sub_divergences.append(sub_div)
+            alpha, gamma = bd.transform_points(sub_div, points[:, dims])
+            alphas.append(alpha)
+            gammas.append(gamma)
+        #: per-subspace alpha_x, gamma_x as (n, M) matrices.
+        self.alpha = np.stack(alphas, axis=1)
+        self.gamma = np.stack(gammas, axis=1)
+
+    def query_triples(self, query: np.ndarray) -> List[bd.QueryTriple]:
+        """Algorithm 3: the M per-subspace query triples."""
+        sub_queries = self.partitioning.split(query)
+        return [
+            bd.transform_query(sub_div, sub_query)
+            for sub_div, sub_query in zip(self.sub_divergences, sub_queries)
+        ]
+
+    def upper_bound_matrix(self, triples: List[bd.QueryTriple]) -> np.ndarray:
+        """Theorem 1 bounds for every (point, subspace) pair: shape (n, M)."""
+        columns = [
+            bd.batch_upper_bounds(self.alpha[:, i], self.gamma[:, i], triple)
+            for i, triple in enumerate(triples)
+        ]
+        return np.stack(columns, axis=1)
+
+
+def determine_search_bounds(ub_matrix: np.ndarray, k: int) -> SearchBounds:
+    """Algorithm 4 (``QBDetermine``): pick the k-th smallest total bound.
+
+    The selected point's per-subspace components become the subspace
+    range radii; Theorem 3 guarantees the union of the corresponding
+    range results contains the exact kNN.
+    """
+    n = ub_matrix.shape[0]
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+    totals = ub_matrix.sum(axis=1)
+    # Index of the k-th smallest total without a full sort.
+    smallest_k = np.argpartition(totals, k - 1)[:k]
+    anchor = int(smallest_k[np.argmax(totals[smallest_k])])
+    return SearchBounds(
+        radii=ub_matrix[anchor].copy(),
+        total=float(totals[anchor]),
+        anchor_id=anchor,
+    )

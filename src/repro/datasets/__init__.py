@@ -1,0 +1,22 @@
+"""Datasets: paper synthetics, real-data proxies, and generators."""
+
+from .loader import Dataset, split_queries
+from .proxies import PAPER_SCALE, available_datasets, load_dataset
+from .synthetic import (
+    clustered_matrix,
+    correlated_matrix,
+    normal_matrix,
+    uniform_matrix,
+)
+
+__all__ = [
+    "Dataset",
+    "split_queries",
+    "load_dataset",
+    "available_datasets",
+    "PAPER_SCALE",
+    "normal_matrix",
+    "uniform_matrix",
+    "clustered_matrix",
+    "correlated_matrix",
+]

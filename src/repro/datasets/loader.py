@@ -1,0 +1,75 @@
+"""Dataset records and the named-dataset registry.
+
+A :class:`Dataset` bundles everything an experiment needs: the points,
+a held-out query set, the divergence the paper pairs with the data, and
+the simulated page size from the paper's Table 4.  :func:`load_dataset`
+builds the six datasets of the evaluation (four real-data *proxies* and
+the two synthetics) at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..divergences.base import BregmanDivergence
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Dataset", "split_queries"]
+
+
+@dataclass
+class Dataset:
+    """A named dataset paired with its divergence and page geometry."""
+
+    name: str
+    points: np.ndarray
+    queries: np.ndarray
+    divergence: BregmanDivergence
+    page_size_bytes: int
+    description: str = ""
+    paper_scale: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.points = np.atleast_2d(np.asarray(self.points, dtype=float))
+        self.queries = np.atleast_2d(np.asarray(self.queries, dtype=float))
+        if self.points.shape[1] != self.queries.shape[1]:
+            raise InvalidParameterError("points and queries disagree on dimensionality")
+
+    @property
+    def n(self) -> int:
+        """Number of indexable points."""
+        return self.points.shape[0]
+
+    @property
+    def d(self) -> int:
+        """Dimensionality."""
+        return self.points.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset({self.name!r}, n={self.n}, d={self.d}, "
+            f"measure={self.divergence.name})"
+        )
+
+
+def split_queries(
+    points: np.ndarray, n_queries: int = 50, seed=0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hold out ``n_queries`` random rows as the query workload.
+
+    Mirrors the paper's protocol ("50 points are randomly selected as the
+    query sets").  Returns ``(remaining_points, queries)``.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = points.shape[0]
+    if n_queries >= n:
+        raise InvalidParameterError("n_queries must be smaller than the dataset")
+    rng = (
+        seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    )
+    query_ids = rng.choice(n, size=n_queries, replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[query_ids] = False
+    return points[mask], points[query_ids]

@@ -1,0 +1,50 @@
+"""Bregman divergences: the distance functions BrePartition indexes.
+
+Public surface:
+
+* :class:`~repro.divergences.base.BregmanDivergence` and
+  :class:`~repro.divergences.base.DecomposableBregmanDivergence` -- the
+  abstractions (generator, gradient, divergence, dual geodesics).
+* Concrete divergences from the paper's Section 3.1: squared Euclidean /
+  Mahalanobis, Itakura-Saito (= Burg entropy), exponential distance,
+  generalized & simplex KL, Shannon entropy, p-norm generators.
+* :func:`get_divergence` -- name-based lookup used by benchmarks and CLI.
+"""
+
+from .base import (
+    OPEN_UNIT_INTERVAL,
+    POSITIVE_REALS,
+    REALS,
+    BregmanDivergence,
+    DecomposableBregmanDivergence,
+    Domain,
+)
+from .exponential import ExponentialDistance
+from .itakura_saito import BurgEntropy, ItakuraSaito
+from .kl import GeneralizedKL, SimplexKL
+from .mahalanobis import DiagonalMahalanobis, MahalanobisDivergence
+from .norms import PNormDivergence, ShannonEntropy
+from .registry import available_divergences, get_divergence, register_divergence
+from .squared_euclidean import SquaredEuclidean
+
+__all__ = [
+    "BregmanDivergence",
+    "DecomposableBregmanDivergence",
+    "Domain",
+    "REALS",
+    "POSITIVE_REALS",
+    "OPEN_UNIT_INTERVAL",
+    "SquaredEuclidean",
+    "DiagonalMahalanobis",
+    "MahalanobisDivergence",
+    "ItakuraSaito",
+    "BurgEntropy",
+    "ExponentialDistance",
+    "GeneralizedKL",
+    "SimplexKL",
+    "ShannonEntropy",
+    "PNormDivergence",
+    "get_divergence",
+    "register_divergence",
+    "available_divergences",
+]

@@ -1,0 +1,18 @@
+"""Evaluation harness: metrics, workload runner, reporting."""
+
+from .experiments import ALL_EXPERIMENTS, ExperimentReport
+from .harness import WorkloadResult, build_index, run_workload
+from .metrics import overall_ratio, recall_at_k
+from .reporting import format_series, format_table
+
+__all__ = [
+    "WorkloadResult",
+    "run_workload",
+    "build_index",
+    "overall_ratio",
+    "recall_at_k",
+    "format_table",
+    "format_series",
+    "ExperimentReport",
+    "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,466 @@
+"""Per-figure experiment definitions (paper Section 9 at laptop scale).
+
+Every public function reproduces one table or figure of the paper's
+evaluation and returns an :class:`ExperimentReport` containing the same
+rows/series the paper reports.  The benchmark files under
+``benchmarks/`` time the hot paths of these experiments and print the
+reports; ``benchmarks/run_all.py`` regenerates EXPERIMENTS.md from them.
+
+Scale note: the paper runs 50k-11M points; these experiments default to
+2-4k points (see DESIGN.md Section 4).  Shapes -- who wins, how curves
+move with k/M/d/n -- are the reproduction target, not absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..baselines.bbtree_index import BBTreeIndex
+from ..baselines.var_bbtree import VarBBTreeIndex
+from ..core.approximate import ApproximateBrePartitionIndex
+from ..core.config import BrePartitionConfig
+from ..core.index import BrePartitionIndex
+from ..datasets.loader import Dataset
+from ..datasets.proxies import PAPER_SCALE, load_dataset
+from ..partitioning.optimizer import calibrate_cost_model, optimal_partitions
+from ..vafile.vafile import VAFileIndex
+from .harness import run_workload
+from .reporting import format_table
+
+__all__ = [
+    "ExperimentReport",
+    "experiment_table4_partitions",
+    "experiment_fig07_construction",
+    "experiment_fig08_09_m_sweep",
+    "experiment_fig10_pccp",
+    "experiment_fig11_12_k_sweep",
+    "experiment_fig13_dimensionality",
+    "experiment_fig14_datasize",
+    "experiment_fig15_approximate",
+    "ALL_EXPERIMENTS",
+]
+
+#: default laptop-scale dataset sizes per experiment.
+DEFAULT_N = 2000
+DEFAULT_QUERIES = 8
+DEFAULT_K = 20
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced table/figure: headers + rows + context notes."""
+
+    experiment: str
+    paper_reference: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+
+    def to_text(self) -> str:
+        """Render the report as the paper-style ASCII table."""
+        parts = [f"== {self.experiment} ({self.paper_reference}) =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+
+def _dataset(name: str, n: int, d: int | None = None, seed: int = 0, n_queries: int = DEFAULT_QUERIES) -> Dataset:
+    return load_dataset(name, n=n, d=d, n_queries=n_queries, seed=seed)
+
+
+def _bp(dataset: Dataset, m: int | None = None, strategy: str = "pccp", seed: int = 0):
+    return BrePartitionIndex(
+        dataset.divergence,
+        BrePartitionConfig(
+            n_partitions=m,
+            strategy=strategy,
+            page_size_bytes=dataset.page_size_bytes,
+            seed=seed,
+            calibration_samples=20,
+        ),
+    ).build(dataset.points)
+
+
+def _vaf(dataset: Dataset):
+    return VAFileIndex(
+        dataset.divergence, bits=8, page_size_bytes=dataset.page_size_bytes
+    ).build(dataset.points)
+
+
+def _bbt(dataset: Dataset, seed: int = 0):
+    return BBTreeIndex(
+        dataset.divergence, page_size_bytes=dataset.page_size_bytes, seed=seed
+    ).build(dataset.points)
+
+
+# ----------------------------------------------------------------------
+# Table 4: optimised numbers of partitions
+# ----------------------------------------------------------------------
+
+
+def experiment_table4_partitions(
+    dataset_names: Sequence[str] = ("audio", "fonts", "deep", "sift", "normal", "uniform"),
+    n: int = DEFAULT_N,
+) -> ExperimentReport:
+    """Calibrate the cost model per dataset and derive Theorem 4's M."""
+    rows = []
+    for name in dataset_names:
+        ds = _dataset(name, n)
+        params = calibrate_cost_model(
+            ds.divergence, ds.points, n_samples=20, rng=np.random.default_rng(0)
+        )
+        m = optimal_partitions(ds.n, ds.d, params)
+        paper = PAPER_SCALE.get(name, {})
+        rows.append(
+            [
+                name,
+                ds.n,
+                ds.d,
+                ds.divergence.name,
+                round(params.A, 3),
+                round(params.alpha, 4),
+                round(params.beta, 6),
+                m,
+                paper.get("M", "-"),
+            ]
+        )
+    return ExperimentReport(
+        experiment="Table 4: optimised number of partitions",
+        paper_reference="paper Table 4 / Theorem 4",
+        headers=["dataset", "n", "d", "measure", "A", "alpha", "beta", "our_M", "paper_M"],
+        rows=rows,
+        notes=(
+            "paper_M was fitted on the full-scale datasets; our_M is fitted on "
+            "the laptop-scale proxies, so magnitudes differ while the mechanism "
+            "(calibrate, then argmin of T(M)) is identical."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: index construction time
+# ----------------------------------------------------------------------
+
+
+def experiment_fig07_construction(
+    dataset_names: Sequence[str] = ("audio", "fonts", "deep", "sift", "normal", "uniform"),
+    n: int = DEFAULT_N,
+) -> ExperimentReport:
+    """Construction seconds of VAF, BP (BB-forest) and BBT per dataset."""
+    rows = []
+    for name in dataset_names:
+        ds = _dataset(name, n)
+        vaf = _vaf(ds)
+        bp = _bp(ds, m=8)
+        bbt = _bbt(ds)
+        rows.append(
+            [
+                name,
+                round(vaf.construction_seconds, 3),
+                round(bp.construction_seconds, 3),
+                round(bbt.construction_seconds, 3),
+            ]
+        )
+    return ExperimentReport(
+        experiment="Fig. 7: index construction time (s)",
+        paper_reference="paper Fig. 7",
+        headers=["dataset", "VAF", "BP", "BBT"],
+        rows=rows,
+        notes="paper shape: VAF fastest; ball-tree indexes an order slower.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 8 & 9: impact of the number of partitions M
+# ----------------------------------------------------------------------
+
+
+def experiment_fig08_09_m_sweep(
+    dataset_name: str = "fonts",
+    m_values: Sequence[int] = (2, 4, 8, 16, 32),
+    ks: Sequence[int] = (20, 60, 100),
+    n: int = DEFAULT_N,
+) -> ExperimentReport:
+    """I/O cost and running time as M varies (one dataset)."""
+    ds = _dataset(dataset_name, n)
+    rows = []
+    for m in m_values:
+        index = _bp(ds, m=m)
+        for k in ks:
+            result = run_workload(index, ds, k=k, method_name="BP", with_accuracy=False)
+            rows.append(
+                [
+                    dataset_name,
+                    m,
+                    k,
+                    round(result.mean_io, 1),
+                    round(result.mean_seconds * 1000, 2),
+                    round(result.mean_candidates, 1),
+                ]
+            )
+    return ExperimentReport(
+        experiment="Figs. 8-9: impact of the number of partitions",
+        paper_reference="paper Figs. 8-9",
+        headers=["dataset", "M", "k", "io_pages", "time_ms", "candidates"],
+        rows=rows,
+        notes=(
+            "paper shape: I/O falls then flattens with M; running time is "
+            "U-shaped with the minimum near Theorem 4's M."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 10: impact of PCCP
+# ----------------------------------------------------------------------
+
+
+def experiment_fig10_pccp(
+    dataset_names: Sequence[str] = ("audio", "fonts", "deep", "sift"),
+    k: int = DEFAULT_K,
+    m: int = 8,
+    n: int = DEFAULT_N,
+) -> ExperimentReport:
+    """I/O and time with the contiguous strategy ("None") vs PCCP."""
+    rows = []
+    for name in dataset_names:
+        ds = _dataset(name, n)
+        plain = _bp(ds, m=m, strategy="contiguous")
+        pccp = _bp(ds, m=m, strategy="pccp")
+        r_plain = run_workload(plain, ds, k=k, method_name="None", with_accuracy=False)
+        r_pccp = run_workload(pccp, ds, k=k, method_name="PCCP", with_accuracy=False)
+        rows.append(
+            [
+                name,
+                round(r_plain.mean_io, 1),
+                round(r_pccp.mean_io, 1),
+                round(r_plain.mean_seconds * 1000, 2),
+                round(r_pccp.mean_seconds * 1000, 2),
+                round(r_plain.mean_candidates, 1),
+                round(r_pccp.mean_candidates, 1),
+            ]
+        )
+    return ExperimentReport(
+        experiment="Fig. 10: impact of PCCP",
+        paper_reference="paper Fig. 10",
+        headers=[
+            "dataset",
+            "io_none",
+            "io_pccp",
+            "time_none_ms",
+            "time_pccp_ms",
+            "cand_none",
+            "cand_pccp",
+        ],
+        rows=rows,
+        notes="paper shape: PCCP reduces I/O and time by 20-30%.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 11 & 12: I/O cost and running time vs k, three methods
+# ----------------------------------------------------------------------
+
+
+def experiment_fig11_12_k_sweep(
+    dataset_name: str = "fonts",
+    ks: Sequence[int] = (20, 40, 60, 80, 100),
+    n: int = DEFAULT_N,
+) -> ExperimentReport:
+    """BP vs VAF vs BBT as k grows (one dataset)."""
+    ds = _dataset(dataset_name, n)
+    indexes = {"BP": _bp(ds), "VAF": _vaf(ds), "BBT": _bbt(ds)}
+    rows = []
+    for k in ks:
+        for method, index in indexes.items():
+            result = run_workload(index, ds, k=k, method_name=method, with_accuracy=False)
+            rows.append(
+                [
+                    dataset_name,
+                    k,
+                    method,
+                    round(result.mean_io, 1),
+                    round(result.mean_seconds * 1000, 2),
+                ]
+            )
+    return ExperimentReport(
+        experiment="Figs. 11-12: I/O cost and running time vs k",
+        paper_reference="paper Figs. 11-12",
+        headers=["dataset", "k", "method", "io_pages", "time_ms"],
+        rows=rows,
+        notes="paper shape: BP lowest I/O and time; BBT worst in high dimensions.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 13: impact of dimensionality (Fonts)
+# ----------------------------------------------------------------------
+
+
+def experiment_fig13_dimensionality(
+    dims: Sequence[int] = (10, 50, 100, 200, 400),
+    k: int = DEFAULT_K,
+    n: int = DEFAULT_N,
+) -> ExperimentReport:
+    """The Fonts sweep over dimensionality, M re-optimised per d."""
+    rows = []
+    for d in dims:
+        ds = _dataset("fonts", n, d=d)
+        params = calibrate_cost_model(
+            ds.divergence, ds.points, n_samples=15, rng=np.random.default_rng(0)
+        )
+        m = optimal_partitions(ds.n, ds.d, params)
+        indexes = {"BP": _bp(ds, m=m), "VAF": _vaf(ds), "BBT": _bbt(ds)}
+        for method, index in indexes.items():
+            result = run_workload(index, ds, k=k, method_name=method, with_accuracy=False)
+            rows.append(
+                [
+                    d,
+                    m if method == "BP" else "-",
+                    method,
+                    round(result.mean_io, 1),
+                    round(result.mean_seconds * 1000, 2),
+                ]
+            )
+    return ExperimentReport(
+        experiment="Fig. 13: impact of dimensionality (fonts)",
+        paper_reference="paper Fig. 13",
+        headers=["d", "M", "method", "io_pages", "time_ms"],
+        rows=rows,
+        notes=(
+            "paper shape: all methods grow with d; BP grows slowest, BBT is "
+            "competitive only at low d."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 14: impact of data size (Sift)
+# ----------------------------------------------------------------------
+
+
+def experiment_fig14_datasize(
+    sizes: Sequence[int] = (1000, 2000, 4000, 8000),
+    k: int = DEFAULT_K,
+    m: int = 8,
+) -> ExperimentReport:
+    """The Sift sweep over dataset size, fixed M (paper Section 9.7)."""
+    rows = []
+    for n in sizes:
+        ds = _dataset("sift", n)
+        indexes = {"BP": _bp(ds, m=m), "VAF": _vaf(ds), "BBT": _bbt(ds)}
+        for method, index in indexes.items():
+            result = run_workload(index, ds, k=k, method_name=method, with_accuracy=False)
+            rows.append(
+                [
+                    n,
+                    method,
+                    round(result.mean_io, 1),
+                    round(result.mean_seconds * 1000, 2),
+                ]
+            )
+    return ExperimentReport(
+        experiment="Fig. 14: impact of data size (sift)",
+        paper_reference="paper Fig. 14",
+        headers=["n", "method", "io_pages", "time_ms"],
+        rows=rows,
+        notes=(
+            "paper shape: near-linear growth in n for all methods, BP lowest; "
+            "M barely depends on n (Theorem 4), so it stays fixed."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 15: approximate solution
+# ----------------------------------------------------------------------
+
+
+def experiment_fig15_approximate(
+    dataset_name: str = "normal",
+    ks: Sequence[int] = (20, 60, 100),
+    probabilities: Sequence[float] = (0.7, 0.8, 0.9),
+    n: int = 3000,
+) -> ExperimentReport:
+    """Overall ratio / I/O / time: ABP(p) vs exact BP vs Var.
+
+    Runs at a somewhat larger n than the other experiments: with too few
+    disk pages, page-granularity I/O saturates and the approximate
+    methods cannot show their savings.
+    """
+    ds = _dataset(dataset_name, n)
+    methods: dict[str, object] = {"BP": _bp(ds, m=8)}
+    for p in probabilities:
+        methods[f"ABP(p={p})"] = ApproximateBrePartitionIndex(
+            ds.divergence,
+            probability=p,
+            config=BrePartitionConfig(
+                n_partitions=8,
+                page_size_bytes=ds.page_size_bytes,
+                seed=0,
+                point_filter=True,
+            ),
+        ).build(ds.points)
+    methods["Var"] = VarBBTreeIndex(
+        ds.divergence,
+        target_probability=0.9,
+        page_size_bytes=ds.page_size_bytes,
+        seed=0,
+    ).build(ds.points)
+
+    rows = []
+    for k in ks:
+        for name, index in methods.items():
+            result = run_workload(index, ds, k=k, method_name=name)
+            rows.append(
+                [
+                    dataset_name,
+                    k,
+                    name,
+                    round(result.mean_overall_ratio, 4),
+                    round(result.mean_recall, 4),
+                    round(result.mean_io, 1),
+                    round(result.mean_seconds * 1000, 2),
+                ]
+            )
+    return ExperimentReport(
+        experiment="Fig. 15: approximate solution (normal)",
+        paper_reference="paper Fig. 15 (and supplementary Fig. on uniform)",
+        headers=["dataset", "k", "method", "overall_ratio", "recall", "io_pages", "time_ms"],
+        rows=rows,
+        notes=(
+            "paper shape: higher p -> OR closer to 1 with more I/O/time; ABP "
+            "dominates Var at matched accuracy."
+        ),
+    )
+
+
+def _experiment_fig15_audio() -> ExperimentReport:
+    """Supplementary Fig. 15 run on the prunable audio proxy.
+
+    On i.i.d. normal data at laptop scale, page-granularity I/O
+    saturates (every >~100-point candidate set touches every page), so
+    the paper-faithful normal run cannot display ABP's I/O savings; the
+    audio proxy can.
+    """
+    report = experiment_fig15_approximate(dataset_name="audio", n=3000)
+    report.experiment = "Fig. 15 (supplementary): approximate solution (audio proxy)"
+    return report
+
+
+#: registry used by benchmarks/run_all.py.
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentReport]] = {
+    "table4": experiment_table4_partitions,
+    "fig07": experiment_fig07_construction,
+    "fig08_09": experiment_fig08_09_m_sweep,
+    "fig10": experiment_fig10_pccp,
+    "fig11_12": experiment_fig11_12_k_sweep,
+    "fig13": experiment_fig13_dimensionality,
+    "fig14": experiment_fig14_datasize,
+    "fig15": experiment_fig15_approximate,
+    "fig15_audio": _experiment_fig15_audio,
+}

@@ -1,0 +1,126 @@
+"""Experiment harness: run a query workload through an index and
+aggregate the paper's metrics (I/O cost, running time, accuracy).
+
+Every index in the library exposes the same surface
+(``build(points)`` / ``search(query, k) -> SearchResult`` /
+``construction_seconds``), so one harness serves all tables and figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.linear_scan import brute_force_knn
+from ..core.results import SearchResult
+from ..datasets.loader import Dataset
+from .metrics import overall_ratio, recall_at_k
+
+__all__ = ["WorkloadResult", "run_workload", "build_index"]
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregated metrics of one (index, dataset, k) run."""
+
+    method: str
+    dataset: str
+    k: int
+    mean_io: float
+    mean_seconds: float
+    mean_candidates: float
+    mean_overall_ratio: float
+    mean_recall: float
+    construction_seconds: float
+    n_queries: int
+    extras: dict = field(default_factory=dict)
+
+    def row(self) -> list:
+        """Row form used by the reporting tables."""
+        return [
+            self.method,
+            self.dataset,
+            self.k,
+            round(self.mean_io, 1),
+            round(self.mean_seconds * 1000.0, 2),
+            round(self.mean_candidates, 1),
+            round(self.mean_overall_ratio, 4),
+            round(self.mean_recall, 4),
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        """Headers matching :meth:`row`."""
+        return [
+            "method",
+            "dataset",
+            "k",
+            "io_pages",
+            "time_ms",
+            "candidates",
+            "overall_ratio",
+            "recall",
+        ]
+
+
+def build_index(factory: Callable[[], object], points: np.ndarray) -> object:
+    """Instantiate and build an index, timing construction."""
+    index = factory()
+    start = time.perf_counter()
+    index.build(points)
+    if not hasattr(index, "construction_seconds") or index.construction_seconds == 0.0:
+        index.construction_seconds = time.perf_counter() - start
+    return index
+
+
+def run_workload(
+    index,
+    dataset: Dataset,
+    k: int,
+    method_name: str | None = None,
+    n_queries: int | None = None,
+    with_accuracy: bool = True,
+) -> WorkloadResult:
+    """Run the dataset's query workload and aggregate metrics.
+
+    Ground truth for accuracy comes from an in-memory brute-force oracle
+    (no I/O charged), so exact methods should report OR = recall = 1.
+    """
+    queries = dataset.queries
+    if n_queries is not None:
+        queries = queries[:n_queries]
+
+    ios, seconds, candidates, ratios, recalls = [], [], [], [], []
+    for query in queries:
+        result: SearchResult = index.search(query, k)
+        ios.append(result.stats.pages_read)
+        seconds.append(result.stats.cpu_seconds)
+        candidates.append(result.stats.n_candidates)
+        if with_accuracy:
+            exact_ids, exact_dists = brute_force_knn(
+                dataset.divergence, dataset.points, query, k
+            )
+            got = result.divergences
+            if got.size < k:
+                # Penalise missing results with the worst observed ratio
+                # by padding with the dataset's k-th exact distance scale.
+                pad = np.full(k - got.size, max(exact_dists[-1], 1e-12) * 10.0)
+                got = np.concatenate([got, pad])
+            ratios.append(overall_ratio(got, exact_dists))
+            recalls.append(recall_at_k(result.ids, exact_ids))
+
+    return WorkloadResult(
+        method=method_name if method_name is not None else type(index).__name__,
+        dataset=dataset.name,
+        k=k,
+        mean_io=float(np.mean(ios)),
+        mean_seconds=float(np.mean(seconds)),
+        mean_candidates=float(np.mean(candidates)),
+        mean_overall_ratio=float(np.mean(ratios)) if ratios else 1.0,
+        mean_recall=float(np.mean(recalls)) if recalls else 1.0,
+        construction_seconds=float(getattr(index, "construction_seconds", 0.0)),
+        n_queries=len(queries),
+    )

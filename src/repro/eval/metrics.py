@@ -1,0 +1,54 @@
+"""Accuracy metrics for (approximate) kNN results.
+
+``overall_ratio`` is the paper's accuracy metric (Section 9.8):
+
+    OR = (1/k) * sum_i D(p_i, q) / D(p*_i, q)
+
+where ``p_i`` is the i-th returned point and ``p*_i`` the true i-th
+nearest neighbour; OR = 1 means exact, larger is worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["overall_ratio", "recall_at_k"]
+
+#: divergences below this are treated as zero when forming ratios.
+_ZERO = 1e-12
+
+
+def overall_ratio(
+    returned_divergences: np.ndarray, exact_divergences: np.ndarray
+) -> float:
+    """The paper's overall ratio; both inputs sorted ascending.
+
+    Pairs where the exact divergence is (numerically) zero contribute
+    ratio 1 when the returned divergence is also zero, and are skipped
+    otherwise to avoid division blow-ups on duplicate points.
+    """
+    returned = np.asarray(returned_divergences, dtype=float)
+    exact = np.asarray(exact_divergences, dtype=float)
+    if returned.size != exact.size or returned.size == 0:
+        raise InvalidParameterError("result and ground truth must have equal size > 0")
+    ratios = []
+    for got, true in zip(returned, exact):
+        if true <= _ZERO:
+            if got <= _ZERO:
+                ratios.append(1.0)
+            continue
+        ratios.append(got / true)
+    if not ratios:
+        return 1.0
+    return float(np.mean(ratios))
+
+
+def recall_at_k(returned_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    """Fraction of the true kNN ids present in the returned set."""
+    returned = set(np.asarray(returned_ids, dtype=int).tolist())
+    exact = np.asarray(exact_ids, dtype=int)
+    if exact.size == 0:
+        raise InvalidParameterError("ground truth must be non-empty")
+    return float(sum(1 for pid in exact if int(pid) in returned) / exact.size)

@@ -1,0 +1,43 @@
+"""ASCII reporting helpers shared by the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a monospace table with left-aligned headers."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [
+        sep.join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        sep.join("-" * w for w in widths),
+    ]
+    lines.extend(sep.join(c.ljust(w) for c, w in zip(row, widths)) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_series(label: str, xs: Sequence[object], ys: Sequence[object]) -> str:
+    """Render one figure series as ``label: x=y, x=y, ...``."""
+    pairs = ", ".join(f"{x}={_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)

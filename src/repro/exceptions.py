@@ -1,0 +1,42 @@
+"""Exception hierarchy for the BrePartition reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class DomainError(ReproError, ValueError):
+    """A vector lies outside the domain of a Bregman divergence.
+
+    For example, Itakura-Saito requires strictly positive coordinates and
+    the Shannon-entropy divergence requires coordinates in the open unit
+    interval.
+    """
+
+
+class NotDecomposableError(ReproError, TypeError):
+    """A divergence cannot be used with dimensionality partitioning.
+
+    BrePartition relies on the divergence being cumulative over disjoint
+    dimension subsets (Section 3.1 of the paper).  Divergences such as the
+    simplex-constrained KL divergence or a full-matrix Mahalanobis distance
+    violate this and are rejected with this error.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An index or model was queried before :meth:`build` / :meth:`fit`."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is out of range or inconsistent."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """The simulated disk was used incorrectly (bad address, page overflow)."""

@@ -1,0 +1,29 @@
+"""Geometric primitives: Cauchy bounds, Bregman balls, dual projections."""
+
+from .ball import BregmanBall
+from .bounds import (
+    PointTuple,
+    QueryTriple,
+    batch_upper_bounds,
+    compute_upper_bound,
+    cross_term,
+    transform_point,
+    transform_points,
+    transform_query,
+)
+from .projection import ball_intersects_range, min_divergence_to_ball, project_to_ball
+
+__all__ = [
+    "BregmanBall",
+    "PointTuple",
+    "QueryTriple",
+    "transform_point",
+    "transform_points",
+    "transform_query",
+    "compute_upper_bound",
+    "batch_upper_bounds",
+    "cross_term",
+    "min_divergence_to_ball",
+    "ball_intersects_range",
+    "project_to_ball",
+]

@@ -1,0 +1,69 @@
+"""Bregman balls: the cluster primitive of BB-trees.
+
+A Bregman ball ``B(mu, R)`` is the set of points whose divergence *to*
+the center is at most the radius: ``{ x : D_f(x, mu) <= R }``.  The
+center sits in the divergence's second argument, matching both the
+Bregman-centroid property (the minimiser of ``sum_i D(x_i, c)`` over
+``c`` is the mean) and the paper's BB-tree construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..divergences.base import DecomposableBregmanDivergence
+from .projection import min_divergence_to_ball
+
+__all__ = ["BregmanBall"]
+
+
+@dataclass
+class BregmanBall:
+    """A Bregman ball ``{ x : D_f(x, center) <= radius }``."""
+
+    center: np.ndarray
+    radius: float
+
+    def __post_init__(self) -> None:
+        self.center = np.asarray(self.center, dtype=float)
+        self.radius = float(max(self.radius, 0.0))
+
+    @classmethod
+    def covering(
+        cls, divergence: DecomposableBregmanDivergence, points: np.ndarray
+    ) -> "BregmanBall":
+        """Smallest centroid-centered ball covering ``points``."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        center = divergence.centroid(points)
+        radius = float(np.max(divergence.batch_divergence(points, center)))
+        return cls(center=center, radius=radius)
+
+    def contains(
+        self, divergence: DecomposableBregmanDivergence, point: np.ndarray
+    ) -> bool:
+        """Whether ``point`` lies in the ball (divergence to center <= R)."""
+        return divergence.divergence(point, self.center) <= self.radius + 1e-12
+
+    def min_divergence(
+        self, divergence: DecomposableBregmanDivergence, query: np.ndarray
+    ) -> float:
+        """Certified lower bound on ``D(x, query)`` over ball members."""
+        return min_divergence_to_ball(divergence, self.center, self.radius, query)
+
+    def intersects_range(
+        self,
+        divergence: DecomposableBregmanDivergence,
+        query: np.ndarray,
+        range_radius: float,
+    ) -> bool:
+        """Can the ball contain a point with ``D(x, query) <= range_radius``?
+
+        This is the ball-vs-query-range test the range query uses to decide
+        whether to explore a subtree (Cayton 2009).
+        """
+        return self.min_divergence(divergence, query) <= range_radius
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BregmanBall(d={self.center.size}, radius={self.radius:.4g})"

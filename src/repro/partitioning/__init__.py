@@ -1,0 +1,24 @@
+"""Dimensionality partitioning: strategies and the Theorem-4 optimiser."""
+
+from .contiguous import ContiguousPartitioner
+from .correlation import absolute_correlation_matrix
+from .optimizer import (
+    CostModelParams,
+    calibrate_cost_model,
+    online_cost,
+    optimal_partitions,
+)
+from .pccp import PCCPPartitioner
+from .scheme import Partitioning, PartitionStrategy
+
+__all__ = [
+    "Partitioning",
+    "PartitionStrategy",
+    "ContiguousPartitioner",
+    "PCCPPartitioner",
+    "absolute_correlation_matrix",
+    "CostModelParams",
+    "calibrate_cost_model",
+    "online_cost",
+    "optimal_partitions",
+]

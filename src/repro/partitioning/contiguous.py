@@ -1,0 +1,29 @@
+"""Equal, contiguous dimensionality partitioning (paper Section 5.2).
+
+The paper's baseline strategy before PCCP: dimension ``j`` goes to
+subspace ``j // ceil(d / M)``.  Used by the "without PCCP" arm of the
+Fig. 10 ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scheme import Partitioning, PartitionStrategy
+
+__all__ = ["ContiguousPartitioner"]
+
+
+class ContiguousPartitioner(PartitionStrategy):
+    """Chunk dimensions into M contiguous, (near-)equal blocks."""
+
+    def partition(self, points: np.ndarray, n_partitions: int) -> Partitioning:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        d = points.shape[1]
+        m = self._validate_m(d, n_partitions)
+        chunk = -(-d // m)  # ceil(d / m)
+        subspaces = [
+            np.arange(start, min(start + chunk, d))
+            for start in range(0, d, chunk)
+        ]
+        return Partitioning.from_lists(subspaces, d)

@@ -1,0 +1,34 @@
+"""Pearson-correlation utilities shared by PCCP and the dataset proxies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["absolute_correlation_matrix"]
+
+
+def absolute_correlation_matrix(
+    points: np.ndarray, sample_size: int | None = None, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """``|Pearson r|`` between every pair of dimensions.
+
+    PCCP only cares about the *strength* of correlation, not its sign
+    (paper Section 5.2).  Constant dimensions (zero variance) get zero
+    correlation with everything.  ``sample_size`` caps the rows used,
+    which keeps calibration cheap on large datasets.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = points.shape[0]
+    if sample_size is not None and sample_size < n:
+        rng = rng if rng is not None else np.random.default_rng()
+        points = points[rng.choice(n, size=sample_size, replace=False)]
+
+    centered = points - points.mean(axis=0)
+    std = centered.std(axis=0)
+    safe_std = np.where(std > 0.0, std, 1.0)
+    normed = centered / safe_std
+    corr = np.abs(normed.T @ normed) / points.shape[0]
+    corr[std == 0.0, :] = 0.0
+    corr[:, std == 0.0] = 0.0
+    np.fill_diagonal(corr, 1.0)
+    return np.clip(corr, 0.0, 1.0)

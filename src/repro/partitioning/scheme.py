@@ -1,0 +1,96 @@
+"""Dimension partitionings: the "partition" of partition-filter-refine.
+
+A :class:`Partitioning` records which original dimensions belong to each
+of the ``M`` subspaces.  It validates the partition laws (disjoint,
+covering, non-empty) and provides the split operations the rest of the
+pipeline uses (splitting points/queries into subvectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Partitioning", "PartitionStrategy"]
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """An ordered list of disjoint dimension-index arrays covering ``d``."""
+
+    subspaces: tuple[np.ndarray, ...]
+    dimensionality: int
+
+    @classmethod
+    def from_lists(cls, subspaces: Sequence[Sequence[int]], dimensionality: int) -> "Partitioning":
+        """Validate and freeze a partitioning from plain lists."""
+        arrays = tuple(np.asarray(sub, dtype=int) for sub in subspaces)
+        if not arrays:
+            raise InvalidParameterError("a partitioning needs at least one subspace")
+        if any(a.size == 0 for a in arrays):
+            raise InvalidParameterError("subspaces must be non-empty")
+        concat = np.concatenate(arrays)
+        if sorted(concat.tolist()) != list(range(dimensionality)):
+            raise InvalidParameterError(
+                "subspaces must disjointly cover all dimensions "
+                f"0..{dimensionality - 1}"
+            )
+        return cls(subspaces=arrays, dimensionality=dimensionality)
+
+    @property
+    def n_partitions(self) -> int:
+        """The number of subspaces, the paper's ``M``."""
+        return len(self.subspaces)
+
+    def split(self, vector: np.ndarray) -> List[np.ndarray]:
+        """Split one vector into its M subvectors."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape[-1] != self.dimensionality:
+            raise InvalidParameterError(
+                f"vector has {vector.shape[-1]} dims, partitioning expects "
+                f"{self.dimensionality}"
+            )
+        return [vector[dims] for dims in self.subspaces]
+
+    def split_matrix(self, points: np.ndarray) -> List[np.ndarray]:
+        """Split a data matrix column-wise into M sub-matrices."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        if points.shape[1] != self.dimensionality:
+            raise InvalidParameterError(
+                f"matrix has {points.shape[1]} dims, partitioning expects "
+                f"{self.dimensionality}"
+            )
+        return [points[:, dims] for dims in self.subspaces]
+
+    def subspace_sizes(self) -> List[int]:
+        """Number of dimensions per subspace."""
+        return [int(dims.size) for dims in self.subspaces]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Partitioning(M={self.n_partitions}, d={self.dimensionality}, "
+            f"sizes={self.subspace_sizes()})"
+        )
+
+
+class PartitionStrategy:
+    """Base class for partitioning strategies.
+
+    Subclasses implement :meth:`partition` mapping a data matrix and a
+    target partition count to a :class:`Partitioning`.
+    """
+
+    def partition(self, points: np.ndarray, n_partitions: int) -> Partitioning:
+        """Produce a partitioning of the data's dimensions."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate_m(d: int, n_partitions: int) -> int:
+        if n_partitions < 1:
+            raise InvalidParameterError("number of partitions must be >= 1")
+        # More partitions than dimensions would force empty subspaces.
+        return min(int(n_partitions), d)

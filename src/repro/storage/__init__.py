@@ -1,0 +1,22 @@
+"""Simulated disk substrate: pages, I/O accounting, buffer pool, layout.
+
+This package replaces the paper's physical SSD testbed.  The paper's
+"I/O cost" metric is the number of disk pages touched per query; the
+:class:`DiskAccessTracker` reproduces exactly that (with intra-query
+deduplication, which is what makes the shared BB-forest layout and PCCP
+pay off), and :class:`DataStore` provides the clustered page-addressed
+point file that BB-tree leaves reference by address.
+"""
+
+from .buffer_pool import BufferPool
+from .datastore import Address, DataStore
+from .io_stats import DiskAccessTracker, IOCostModel, QueryIOSnapshot
+
+__all__ = [
+    "Address",
+    "DataStore",
+    "BufferPool",
+    "DiskAccessTracker",
+    "IOCostModel",
+    "QueryIOSnapshot",
+]

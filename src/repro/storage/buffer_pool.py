@@ -1,0 +1,56 @@
+"""A small LRU buffer pool for the simulated disk.
+
+The per-query deduplication in :class:`~repro.storage.io_stats.DiskAccessTracker`
+models intra-query reuse; the buffer pool models *cross-query* caching.
+It is optional (the paper reports raw logical I/O, so benchmarks default
+to no pool) but useful for ablations on warm-cache behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of ``(fileno, page)`` keys."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise InvalidParameterError("buffer pool capacity must be positive")
+        self.capacity_pages = int(capacity_pages)
+        self.hits = 0
+        self.misses = 0
+        self._lru: OrderedDict[tuple[int, int], None] = OrderedDict()
+
+    def access(self, fileno: int, page: int) -> bool:
+        """Touch a page; returns ``True`` on a cache hit.
+
+        Misses insert the page, evicting the least recently used entry
+        when at capacity.
+        """
+        key = (fileno, page)
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._lru[key] = None
+        if len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)
+        return False
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached pages and reset statistics."""
+        self._lru.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,165 @@
+"""Clustered, page-addressed storage of the original data points.
+
+The paper stores the full high-dimensional vectors on disk, clustered in
+the leaf order of a seed BB-tree, and every BB-tree leaf keeps only the
+*addresses* (disk number + offset) of its points.  :class:`DataStore`
+reproduces this: points are laid out in a caller-supplied order across
+fixed-size pages, fetches go through a :class:`DiskAccessTracker`, and an
+optional :class:`BufferPool` can absorb repeat reads across queries.
+
+Page geometry follows the paper's Table 4: a page of ``page_size_bytes``
+holds ``page_size_bytes // (8 * d)`` float64 vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, StorageError
+from .buffer_pool import BufferPool
+from .io_stats import DiskAccessTracker
+
+__all__ = ["Address", "DataStore"]
+
+_next_fileno = 0
+
+
+def _allocate_fileno() -> int:
+    """Hand out unique simulated file numbers (distinct "disks")."""
+    global _next_fileno
+    _next_fileno += 1
+    return _next_fileno
+
+
+class Address:
+    """Physical location of a point: ``(page, slot)`` within a store."""
+
+    __slots__ = ("page", "slot")
+
+    def __init__(self, page: int, slot: int) -> None:
+        self.page = page
+        self.slot = slot
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Address(page={self.page}, slot={self.slot})"
+
+
+class DataStore:
+    """Simulated disk-resident array of ``n`` points of dimension ``d``.
+
+    Parameters
+    ----------
+    points:
+        The full-dimensional dataset, shape ``(n, d)``.
+    layout_order:
+        Permutation of ``range(n)``; position in this order determines
+        the physical page.  BB-forest passes its seed tree's leaf order
+        so that similar points share pages (paper Section 6).
+    page_size_bytes:
+        Simulated page size (paper Table 4 uses 32KB-128KB).
+    tracker:
+        I/O accounting sink; every distinct page fetch per query costs
+        one page read.
+    buffer_pool:
+        Optional cross-query LRU cache; hits are not charged.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        layout_order: Sequence[int] | None = None,
+        page_size_bytes: int = 65536,
+        tracker: DiskAccessTracker | None = None,
+        buffer_pool: BufferPool | None = None,
+    ) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n, d = points.shape
+        if page_size_bytes < 8 * d:
+            raise InvalidParameterError(
+                f"page of {page_size_bytes}B cannot hold one {d}-dim float64 vector"
+            )
+        if layout_order is None:
+            layout_order = np.arange(n)
+        layout_order = np.asarray(layout_order, dtype=int)
+        if sorted(layout_order.tolist()) != list(range(n)):
+            raise InvalidParameterError("layout_order must be a permutation of range(n)")
+
+        self.fileno = _allocate_fileno()
+        self.page_size_bytes = int(page_size_bytes)
+        self.points_per_page = max(1, page_size_bytes // (8 * d))
+        self.n_points = n
+        self.dimensionality = d
+        self.tracker = tracker if tracker is not None else DiskAccessTracker()
+        self.buffer_pool = buffer_pool
+
+        # Physical image: row i of _storage is the i-th point on disk.
+        self._storage = points[layout_order]
+        # Logical -> physical position.
+        position = np.empty(n, dtype=int)
+        position[layout_order] = np.arange(n)
+        self._position = position
+        self._pages = position // self.points_per_page
+        self._slots = position % self.points_per_page
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages the dataset occupies."""
+        return int(self._pages.max()) + 1 if self.n_points else 0
+
+    def address(self, point_id: int) -> Address:
+        """Physical address of a point (what BB-tree leaves store)."""
+        if not 0 <= point_id < self.n_points:
+            raise StorageError(f"point id {point_id} out of range")
+        return Address(int(self._pages[point_id]), int(self._slots[point_id]))
+
+    def pages_of(self, point_ids: Iterable[int]) -> np.ndarray:
+        """Distinct pages holding the given points (sorted)."""
+        ids = np.asarray(list(point_ids), dtype=int)
+        if ids.size == 0:
+            return np.empty(0, dtype=int)
+        return np.unique(self._pages[ids])
+
+    # ------------------------------------------------------------------
+    # I/O-charged access
+    # ------------------------------------------------------------------
+
+    def fetch(self, point_ids: Sequence[int]) -> np.ndarray:
+        """Read points from disk, charging one I/O per distinct page.
+
+        Returns the vectors in the order of ``point_ids``.
+        """
+        ids = np.asarray(point_ids, dtype=int)
+        for page in self.pages_of(ids):
+            self._charge(int(page))
+        return self._storage[self._position[ids]]
+
+    def scan(self) -> np.ndarray:
+        """Sequentially read the whole file (used by linear scan).
+
+        Charges every page once and returns points in *logical* id order.
+        """
+        for page in range(self.n_pages):
+            self._charge(page)
+        return self._storage[self._position]
+
+    def peek(self, point_ids: Sequence[int]) -> np.ndarray:
+        """Read points *without* charging I/O (index construction only)."""
+        ids = np.asarray(point_ids, dtype=int)
+        return self._storage[self._position[ids]]
+
+    def _charge(self, page: int) -> None:
+        if self.buffer_pool is not None and self.buffer_pool.access(self.fileno, page):
+            return
+        self.tracker.read_page(self.fileno, page)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataStore(n={self.n_points}, d={self.dimensionality}, "
+            f"pages={self.n_pages}, page_size={self.page_size_bytes}B)"
+        )

@@ -1,0 +1,6 @@
+"""The "VAF" baseline: extended-space VA-file for Bregman divergences."""
+
+from .quantizer import UniformQuantizer
+from .vafile import VAFileIndex
+
+__all__ = ["UniformQuantizer", "VAFileIndex"]

@@ -1,0 +1,60 @@
+"""Per-dimension uniform scalar quantizer for the VA-file.
+
+Each dimension is divided into ``2^bits`` equal-width cells between the
+observed minimum and maximum; an approximation stores only the cell
+index.  Cell bounds give per-dimension lower/upper bounds on the true
+coordinate, from which the VA-file derives bounds on any linear
+functional of the (extended) point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, NotFittedError
+
+__all__ = ["UniformQuantizer"]
+
+
+class UniformQuantizer:
+    """Uniform scalar quantization of each column of a data matrix."""
+
+    def __init__(self, bits: int = 6) -> None:
+        if not 1 <= bits <= 16:
+            raise InvalidParameterError("bits must be in [1, 16]")
+        self.bits = int(bits)
+        self.n_cells = 1 << self.bits
+        self.mins: np.ndarray | None = None
+        self.widths: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "UniformQuantizer":
+        """Learn per-dimension ranges from the data."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        self.mins = points.min(axis=0)
+        spans = points.max(axis=0) - self.mins
+        # Constant dimensions quantize to a single degenerate cell.
+        self.widths = np.where(spans > 0.0, spans / self.n_cells, 1.0)
+        return self
+
+    def _require_fit(self) -> None:
+        if self.mins is None or self.widths is None:
+            raise NotFittedError("UniformQuantizer.fit() must be called first")
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Cell indices for every coordinate, shape like ``points``."""
+        self._require_fit()
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        cells = np.floor((points - self.mins) / self.widths).astype(np.int32)
+        return np.clip(cells, 0, self.n_cells - 1)
+
+    def cell_bounds(self, cells: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper coordinate bounds of the given cells."""
+        self._require_fit()
+        low = self.mins + cells * self.widths
+        high = low + self.widths
+        return low, high
+
+    @property
+    def bytes_per_point(self) -> float:
+        """Approximation size per point per dimension, in bytes."""
+        return self.bits / 8.0

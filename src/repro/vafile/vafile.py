@@ -1,0 +1,174 @@
+"""VA-file index for Bregman divergences ("VAF", Zhang et al. VLDB 2009).
+
+Zhang et al.'s key identity: extend every point to
+``x_hat = (x_1, ..., x_d, f(x))``.  For a fixed query ``y`` the
+divergence becomes *affine* in the extended point:
+
+    D_f(x, y) = <w, x_hat> + kappa_y,
+    w = (-grad f(y), 1),
+    kappa_y = <grad f(y), y> - f(y).
+
+A VA-file (Weber et al.) over the extended space then yields, per point,
+lower and upper bounds on the divergence from the quantized cell bounds
+of each coordinate.  Search is the classic two-phase scan:
+
+1. **Filter** -- sequentially read the (small) approximation file,
+   bounding every point; keep points whose lower bound does not exceed
+   the k-th smallest upper bound.
+2. **Refine** -- fetch the survivors from the full-vector file, compute
+   exact divergences, return the top k.
+
+I/O = (approximation-file pages, always) + (candidate pages), matching
+the paper's observation that VAF pays a fixed scan cost but fetches few
+vectors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..divergences.base import BregmanDivergence, DecomposableBregmanDivergence
+from ..exceptions import InvalidParameterError, NotFittedError
+from ..core.results import QueryStats, SearchResult
+from ..storage.datastore import DataStore
+from ..storage.io_stats import DiskAccessTracker
+from .quantizer import UniformQuantizer
+
+__all__ = ["VAFileIndex"]
+
+
+class VAFileIndex:
+    """Exact Bregman kNN via extended-space vector approximations.
+
+    Parameters
+    ----------
+    divergence:
+        Any Bregman divergence with a gradient (decomposability is not
+        required -- the affine identity holds for every generator).
+    bits:
+        Quantization bits per extended dimension (paper-era VA-files use
+        4-8).
+    page_size_bytes:
+        Simulated page size for both files.
+    tracker:
+        I/O accounting sink shared with other indexes in a benchmark.
+    """
+
+    def __init__(
+        self,
+        divergence: BregmanDivergence,
+        bits: int = 6,
+        page_size_bytes: int = 65536,
+        tracker: DiskAccessTracker | None = None,
+    ) -> None:
+        self.divergence = divergence
+        self.quantizer = UniformQuantizer(bits=bits)
+        self.page_size_bytes = int(page_size_bytes)
+        self.tracker = tracker if tracker is not None else DiskAccessTracker()
+        self.datastore: DataStore | None = None
+        self.construction_seconds: float = 0.0
+        self._cells: np.ndarray | None = None
+        self._cell_low: np.ndarray | None = None
+        self._cell_high: np.ndarray | None = None
+        self._va_fileno: int | None = None
+        self._va_pages: int = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def build(self, points: np.ndarray) -> "VAFileIndex":
+        """Quantize the extended space and lay out both files."""
+        start = time.perf_counter()
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n, d = points.shape
+        if n < 1:
+            raise InvalidParameterError("cannot index an empty dataset")
+        self.divergence.validate_domain(points, "dataset")
+
+        generator_values = np.array(
+            [self.divergence.generator(row) for row in points]
+        )
+        if isinstance(self.divergence, DecomposableBregmanDivergence):
+            generator_values = np.sum(self.divergence.phi(points), axis=1)
+        extended = np.hstack([points, generator_values[:, None]])
+
+        self.quantizer.fit(extended)
+        self._cells = self.quantizer.encode(extended)
+        self._cell_low, self._cell_high = self.quantizer.cell_bounds(self._cells)
+
+        # Approximation file footprint: n * (d+1) * bits / 8 bytes.
+        va_bytes = n * (d + 1) * self.quantizer.bytes_per_point
+        self._va_pages = max(1, int(np.ceil(va_bytes / self.page_size_bytes)))
+        self.datastore = DataStore(
+            points, page_size_bytes=self.page_size_bytes, tracker=self.tracker
+        )
+        self._va_fileno = self.datastore.fileno + 1_000_000  # distinct "file"
+        self.construction_seconds = time.perf_counter() - start
+        return self
+
+    def _require_built(self) -> None:
+        if self.datastore is None or self._cells is None:
+            raise NotFittedError("VAFileIndex.build() must be called first")
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        """Exact kNN via the two-phase VA-file scan."""
+        self._require_built()
+        query = np.asarray(query, dtype=float)
+        self.divergence.validate_domain(query, "query")
+        n = self.datastore.n_points
+        if not 1 <= k <= n:
+            raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+
+        self.tracker.start_query()
+        start = time.perf_counter()
+
+        # Phase 1: scan all approximations (sequential I/O).
+        for page in range(self._va_pages):
+            self.tracker.read_page(self._va_fileno, page)
+
+        grad = self.divergence.gradient(query)
+        weights = np.concatenate([-grad, [1.0]])
+        kappa = float(np.dot(grad, query)) - self.divergence.generator(query)
+
+        positive = weights > 0.0
+        lower = (
+            self._cell_low[:, positive] @ weights[positive]
+            + self._cell_high[:, ~positive] @ weights[~positive]
+            + kappa
+        )
+        upper = (
+            self._cell_high[:, positive] @ weights[positive]
+            + self._cell_low[:, ~positive] @ weights[~positive]
+            + kappa
+        )
+        # Divergences are non-negative; tighten the trivial bound.
+        lower = np.maximum(lower, 0.0)
+
+        kth_upper = np.partition(upper, k - 1)[k - 1]
+        candidates = np.flatnonzero(lower <= kth_upper)
+
+        # Phase 2: fetch candidates and refine exactly.
+        vectors = self.datastore.fetch(candidates)
+        exact = self.divergence.batch_divergence(vectors, query)
+        order = np.argsort(exact)[:k]
+
+        elapsed = time.perf_counter() - start
+        snapshot = self.tracker.end_query()
+        stats = QueryStats(
+            pages_read=snapshot.pages_read,
+            cpu_seconds=elapsed,
+            n_candidates=int(candidates.size),
+            points_evaluated=int(candidates.size),
+        )
+        return SearchResult(ids=candidates[order], divergences=exact[order], stats=stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "built" if self.datastore is not None else "unbuilt"
+        return f"VAFileIndex({self.divergence.name}, bits={self.quantizer.bits}, {state})"

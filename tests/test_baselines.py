@@ -1,0 +1,127 @@
+"""Tests for the linear-scan, BBT and Var baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BBTreeIndex, LinearScanIndex, VarBBTreeIndex, brute_force_knn
+from repro.divergences import ItakuraSaito, SquaredEuclidean
+from repro.exceptions import InvalidParameterError, NotFittedError
+
+from .conftest import all_decomposable_divergences, points_for
+
+
+class TestLinearScan:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_exactness(self, name, div):
+        points = points_for(div, 120, 8, seed=81)
+        index = LinearScanIndex(div, page_size_bytes=512).build(points)
+        q = points_for(div, 1, 8, seed=82)[0]
+        result = index.search(q, k=5)
+        _, true_dists = brute_force_knn(div, points, q, 5)
+        np.testing.assert_allclose(result.divergences, true_dists, rtol=1e-9)
+
+    def test_io_is_full_scan(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 120, 8, seed=83)
+        index = LinearScanIndex(div, page_size_bytes=512).build(points)
+        result = index.search(points[0], k=3)
+        assert result.stats.pages_read == index.datastore.n_pages
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearScanIndex(SquaredEuclidean()).search(np.zeros(3), 1)
+
+    def test_invalid_k(self):
+        div = SquaredEuclidean()
+        index = LinearScanIndex(div, page_size_bytes=512).build(
+            points_for(div, 20, 6, seed=84)
+        )
+        with pytest.raises(InvalidParameterError):
+            index.search(np.zeros(6), 21)
+
+
+class TestBBTreeIndex:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_exactness(self, name, div):
+        points = points_for(div, 150, 8, seed=85)
+        index = BBTreeIndex(div, page_size_bytes=512, seed=0).build(points)
+        for q in points_for(div, 3, 8, seed=86):
+            result = index.search(q, k=6)
+            _, true_dists = brute_force_knn(div, points, q, 6)
+            np.testing.assert_allclose(result.divergences, true_dists, rtol=1e-7)
+
+    def test_io_never_exceeds_full_scan(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 200, 8, seed=87)
+        index = BBTreeIndex(div, page_size_bytes=512, seed=0).build(points)
+        result = index.search(points[0], k=5)
+        assert result.stats.pages_read <= index.datastore.n_pages
+
+    def test_clustered_data_prunes(self):
+        div = SquaredEuclidean()
+        rng = np.random.default_rng(88)
+        blobs = [rng.normal(c, 0.05, size=(50, 6)) for c in (0.0, 30.0, 60.0)]
+        points = np.vstack(blobs)
+        index = BBTreeIndex(div, page_size_bytes=512, seed=0).build(points)
+        result = index.search(points[0], k=3)
+        assert result.stats.pages_read < index.datastore.n_pages
+
+    def test_stats(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 100, 8, seed=89)
+        index = BBTreeIndex(div, page_size_bytes=512, seed=0).build(points)
+        result = index.search(points[0], k=5)
+        assert result.stats.leaves_visited > 0
+        assert result.stats.points_evaluated >= 5
+
+
+class TestVarBBTree:
+    def _clustered(self, seed=90, n=200, d=8):
+        rng = np.random.default_rng(seed)
+        centers = rng.normal(0.0, 3.0, size=(8, d))
+        labels = rng.integers(8, size=n)
+        return centers[labels] + rng.normal(0.0, 0.2, size=(n, d))
+
+    def test_returns_k_results(self):
+        div = SquaredEuclidean()
+        points = self._clustered()
+        index = VarBBTreeIndex(div, target_probability=0.9, page_size_bytes=512, seed=0).build(points)
+        result = index.search(points[0], k=10)
+        assert result.k == 10
+
+    def test_reasonable_recall_at_high_probability(self):
+        div = SquaredEuclidean()
+        points = self._clustered(seed=91)
+        index = VarBBTreeIndex(div, target_probability=0.95, page_size_bytes=512, seed=0).build(points)
+        recalls = []
+        for q in points[:10]:
+            result = index.search(q, k=10)
+            true_ids, _ = brute_force_knn(div, points, q, 10)
+            recalls.append(len(set(result.ids.tolist()) & set(true_ids.tolist())) / 10)
+        assert float(np.mean(recalls)) >= 0.7
+
+    def test_lower_probability_less_io(self):
+        div = SquaredEuclidean()
+        points = self._clustered(seed=92)
+        eager = VarBBTreeIndex(div, target_probability=0.99, page_size_bytes=512, seed=0).build(points)
+        lazy = VarBBTreeIndex(div, target_probability=0.5, page_size_bytes=512, seed=0).build(points)
+        q = points[3]
+        assert lazy.search(q, 10).stats.pages_read <= eager.search(q, 10).stats.pages_read
+
+    def test_invalid_probability(self):
+        with pytest.raises(InvalidParameterError):
+            VarBBTreeIndex(SquaredEuclidean(), target_probability=0.0)
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotFittedError):
+            VarBBTreeIndex(SquaredEuclidean()).search(np.zeros(3), 1)
+
+    def test_isd(self):
+        div = ItakuraSaito()
+        points = points_for(div, 150, 8, seed=93)
+        index = VarBBTreeIndex(div, target_probability=0.9, page_size_bytes=512, seed=0).build(points)
+        result = index.search(points_for(div, 1, 8, seed=94)[0], k=5)
+        assert result.k == 5
+        assert np.all(np.diff(result.divergences) >= -1e-12)

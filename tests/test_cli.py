@@ -1,0 +1,103 @@
+"""Tests for the ``brepartition`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_lists_datasets(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("audio", "fonts", "deep", "sift", "normal", "uniform"):
+            assert name in out
+        assert "itakura_saito" in out
+
+    def test_info_shows_paper_scale(self, capsys):
+        main(["info"])
+        out = capsys.readouterr().out
+        assert "11164866" in out  # sift's paper-scale n
+
+
+class TestSearch:
+    @pytest.mark.parametrize("method", ["bp", "vaf", "bbt", "scan"])
+    def test_search_methods(self, capsys, method):
+        code = main(
+            [
+                "search",
+                "uniform",
+                "--method",
+                method,
+                "--n",
+                "300",
+                "--k",
+                "5",
+                "--queries",
+                "3",
+                "--partitions",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "io_pages" in out
+        assert method.upper() in out
+
+    def test_search_abp(self, capsys):
+        code = main(
+            [
+                "search",
+                "normal",
+                "--method",
+                "abp",
+                "--n",
+                "300",
+                "--k",
+                "5",
+                "--queries",
+                "2",
+                "--partitions",
+                "2",
+                "--probability",
+                "0.8",
+            ]
+        )
+        assert code == 0
+        assert "ABP" in capsys.readouterr().out
+
+    def test_search_reports_partitions(self, capsys):
+        main(
+            [
+                "search",
+                "uniform",
+                "--n",
+                "300",
+                "--k",
+                "3",
+                "--queries",
+                "2",
+                "--partitions",
+                "3",
+            ]
+        )
+        assert "M=3" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["search", "imagenet"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["search", "normal", "--method", "faiss"])
+
+
+class TestExperiment:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

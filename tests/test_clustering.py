@@ -1,0 +1,104 @@
+"""Tests for Bregman k-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import bregman_kmeans, plusplus_seeds
+from repro.divergences import ItakuraSaito, SquaredEuclidean
+from repro.exceptions import InvalidParameterError
+
+from .conftest import all_decomposable_divergences, points_for
+
+
+class TestBregmanKMeans:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(6))
+    def test_labels_and_shapes(self, name, div):
+        points = points_for(div, 60, 6, seed=21)
+        result = bregman_kmeans(div, points, k=4, rng=np.random.default_rng(0))
+        assert result.centers.shape == (4, 6)
+        assert result.labels.shape == (60,)
+        assert set(result.labels.tolist()) <= {0, 1, 2, 3}
+        assert result.inertia >= 0.0
+        assert result.k == 4
+
+    def test_k_equals_one_center_is_mean(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(1).normal(size=(50, 4))
+        result = bregman_kmeans(div, points, k=1, rng=np.random.default_rng(0))
+        np.testing.assert_allclose(result.centers[0], points.mean(axis=0), rtol=1e-9)
+
+    def test_k_equals_n(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(2).normal(size=(8, 3))
+        result = bregman_kmeans(div, points, k=8, rng=np.random.default_rng(0))
+        # Every point should end in a singleton-ish cluster: inertia ~ 0.
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_k(self):
+        div = SquaredEuclidean()
+        points = np.zeros((5, 2)) + np.arange(5)[:, None]
+        with pytest.raises(InvalidParameterError):
+            bregman_kmeans(div, points, k=0)
+        with pytest.raises(InvalidParameterError):
+            bregman_kmeans(div, points, k=6)
+
+    def test_separated_clusters_recovered(self):
+        div = SquaredEuclidean()
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.0, 0.05, size=(30, 3))
+        b = rng.normal(10.0, 0.05, size=(30, 3))
+        points = np.vstack([a, b])
+        result = bregman_kmeans(div, points, k=2, rng=np.random.default_rng(0))
+        labels_a = set(result.labels[:30].tolist())
+        labels_b = set(result.labels[30:].tolist())
+        assert labels_a.isdisjoint(labels_b)
+
+    def test_assignment_is_nearest_center(self):
+        div = ItakuraSaito()
+        points = points_for(div, 40, 5, seed=22)
+        result = bregman_kmeans(div, points, k=3, rng=np.random.default_rng(0))
+        dists = np.stack(
+            [div.batch_divergence(points, c) for c in result.centers], axis=1
+        )
+        np.testing.assert_array_equal(result.labels, np.argmin(dists, axis=1))
+
+    def test_duplicate_points_terminate(self):
+        div = SquaredEuclidean()
+        points = np.ones((20, 3))
+        result = bregman_kmeans(div, points, k=3, rng=np.random.default_rng(0))
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_with_seeded_rng(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(4).normal(size=(50, 4))
+        r1 = bregman_kmeans(div, points, k=3, rng=np.random.default_rng(9))
+        r2 = bregman_kmeans(div, points, k=3, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(r1.labels, r2.labels)
+
+
+class TestSeeding:
+    def test_plusplus_returns_k_rows(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(5).normal(size=(30, 4))
+        seeds = plusplus_seeds(div, points, 5, np.random.default_rng(0))
+        assert seeds.shape == (5, 4)
+
+    def test_plusplus_handles_duplicates(self):
+        div = SquaredEuclidean()
+        points = np.vstack([np.zeros((10, 3)), np.ones((2, 3))])
+        seeds = plusplus_seeds(div, points, 3, np.random.default_rng(0))
+        assert seeds.shape == (3, 3)
+
+    def test_plusplus_prefers_spread(self):
+        """With two tight far-apart blobs, 2 seeds should span both."""
+        div = SquaredEuclidean()
+        rng = np.random.default_rng(6)
+        a = rng.normal(0.0, 0.01, size=(50, 2))
+        b = rng.normal(50.0, 0.01, size=(50, 2))
+        points = np.vstack([a, b])
+        seeds = plusplus_seeds(div, points, 2, np.random.default_rng(1))
+        norms = np.linalg.norm(seeds, axis=1)
+        assert (norms < 1.0).sum() == 1
+        assert (norms > 1.0).sum() == 1

@@ -1,0 +1,145 @@
+"""Tests for dataset generators, proxies and the loader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PAPER_SCALE,
+    Dataset,
+    available_datasets,
+    clustered_matrix,
+    correlated_matrix,
+    load_dataset,
+    normal_matrix,
+    split_queries,
+    uniform_matrix,
+)
+from repro.exceptions import InvalidParameterError
+from repro.partitioning import absolute_correlation_matrix
+
+
+class TestGenerators:
+    def test_normal_shape_and_moments(self):
+        m = normal_matrix(2000, 10, seed=0)
+        assert m.shape == (2000, 10)
+        assert abs(float(m.mean())) < 0.1
+        assert abs(float(m.std()) - 1.0) < 0.1
+
+    def test_uniform_positive_range(self):
+        m = uniform_matrix(500, 8, seed=1, low=0.5, high=100.0)
+        assert m.min() >= 0.5 and m.max() <= 100.0
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_matrix(10, 4, low=0.0, high=1.0)
+        with pytest.raises(InvalidParameterError):
+            uniform_matrix(10, 4, low=2.0, high=1.0)
+
+    def test_clustered_positive_flag(self):
+        m = clustered_matrix(200, 6, n_clusters=4, seed=2, positive=True)
+        assert np.all(m > 0.0)
+
+    def test_clustered_has_structure(self):
+        """Cluster spread smaller than global spread."""
+        m = clustered_matrix(500, 8, n_clusters=3, seed=3, center_scale=3.0, spread=0.1)
+        global_var = float(m.var())
+        assert global_var > 0.5  # centers dominate
+
+    def test_correlated_groups_detectable(self):
+        m = correlated_matrix(1000, 12, group_size=4, seed=4, correlation=0.9)
+        corr = absolute_correlation_matrix(m)
+        within = np.mean([corr[0, 1], corr[1, 2], corr[4, 5], corr[9, 10]])
+        across = np.mean([corr[0, 4], corr[1, 8], corr[5, 9]])
+        assert within > across + 0.3
+
+    def test_correlated_invalid_params(self):
+        with pytest.raises(InvalidParameterError):
+            correlated_matrix(10, 4, correlation=1.5)
+        with pytest.raises(InvalidParameterError):
+            correlated_matrix(10, 4, group_size=0)
+
+    def test_generator_determinism(self):
+        a = normal_matrix(50, 5, seed=7)
+        b = normal_matrix(50, 5, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSplitQueries:
+    def test_split_counts(self):
+        m = normal_matrix(100, 5, seed=8)
+        points, queries = split_queries(m, n_queries=10, seed=0)
+        assert points.shape == (90, 5)
+        assert queries.shape == (10, 5)
+
+    def test_no_overlap(self):
+        m = normal_matrix(60, 4, seed=9)
+        points, queries = split_queries(m, n_queries=10, seed=0)
+        point_set = {tuple(row) for row in points}
+        assert all(tuple(q) not in point_set for q in queries)
+
+    def test_too_many_queries(self):
+        with pytest.raises(InvalidParameterError):
+            split_queries(normal_matrix(10, 3), n_queries=10)
+
+
+class TestLoader:
+    @pytest.mark.parametrize("name", ["audio", "fonts", "deep", "sift", "normal", "uniform"])
+    def test_all_datasets_load_and_are_domain_valid(self, name):
+        ds = load_dataset(name, n=300, n_queries=10, seed=0)
+        assert ds.n == 290
+        assert ds.d == PAPER_SCALE[name]["d"] if name in PAPER_SCALE else True
+        ds.divergence.validate_domain(ds.points, "dataset")
+        ds.divergence.validate_domain(ds.queries, "queries")
+
+    def test_dimensionality_override(self):
+        ds = load_dataset("fonts", n=200, d=64, n_queries=5, seed=0)
+        assert ds.d == 64
+
+    def test_paper_scale_metadata(self):
+        ds = load_dataset("sift", n=200, n_queries=5, seed=0)
+        assert ds.paper_scale["n"] == 11_164_866
+        assert ds.paper_scale["measure"] == "ED"
+
+    def test_measure_pairing_matches_table4(self):
+        assert load_dataset("fonts", n=200, n_queries=5).divergence.name == "itakura_saito"
+        assert load_dataset("audio", n=200, n_queries=5).divergence.name == "exponential"
+        assert load_dataset("uniform", n=200, n_queries=5).divergence.name == "itakura_saito"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("imagenet")
+
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert set(names) == {"audio", "fonts", "deep", "sift", "normal", "uniform"}
+
+    def test_determinism(self):
+        a = load_dataset("deep", n=200, n_queries=5, seed=3)
+        b = load_dataset("deep", n=200, n_queries=5, seed=3)
+        np.testing.assert_array_equal(a.points, b.points)
+        np.testing.assert_array_equal(a.queries, b.queries)
+
+    def test_dataset_record_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(
+                name="bad",
+                points=np.zeros((5, 3)),
+                queries=np.zeros((2, 4)),
+                divergence=load_dataset("normal", n=100, n_queries=5).divergence,
+                page_size_bytes=1024,
+            )
+
+    def test_proxies_have_energy_heterogeneity(self):
+        """The per-vector energy spread is what makes the Cauchy filter
+        selective; proxies must exhibit it."""
+        ds = load_dataset("fonts", n=500, n_queries=10, seed=0)
+        norms = np.linalg.norm(ds.points, axis=1)
+        assert float(norms.max() / norms.min()) > 3.0
+
+    def test_proxies_have_correlation_groups(self):
+        ds = load_dataset("audio", n=800, n_queries=10, seed=0)
+        corr = absolute_correlation_matrix(ds.points)
+        # Dims 0 and 1 share a latent group (group size 12).
+        assert corr[0, 1] > 0.4

@@ -1,0 +1,248 @@
+"""Unit tests for the Bregman divergence family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.divergences import (
+    DiagonalMahalanobis,
+    ExponentialDistance,
+    GeneralizedKL,
+    ItakuraSaito,
+    MahalanobisDivergence,
+    PNormDivergence,
+    ShannonEntropy,
+    SimplexKL,
+    SquaredEuclidean,
+    available_divergences,
+    get_divergence,
+)
+from repro.exceptions import (
+    DomainError,
+    InvalidParameterError,
+    NotDecomposableError,
+)
+
+from .conftest import all_decomposable_divergences, points_for
+
+
+class TestBasicProperties:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_non_negative(self, name, div):
+        points = points_for(div, 30, 8, seed=1)
+        for i in range(0, 30, 3):
+            for j in range(0, 30, 5):
+                assert div.divergence(points[i], points[j]) >= 0.0
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_identity_of_indiscernibles(self, name, div):
+        points = points_for(div, 10, 8, seed=2)
+        for row in points:
+            assert div.divergence(row, row) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_batch_matches_scalar(self, name, div):
+        points = points_for(div, 20, 8, seed=3)
+        y = points[0]
+        batch = div.batch_divergence(points, y)
+        scalar = np.array([div.divergence(row, y) for row in points])
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_definition_matches_generator_form(self, name, div):
+        """D(x,y) must equal f(x) - f(y) - <grad f(y), x - y>."""
+        points = points_for(div, 6, 8, seed=4)
+        x, y = points[0], points[1]
+        expected = (
+            div.generator(x)
+            - div.generator(y)
+            - float(np.dot(div.gradient(y), x - y))
+        )
+        assert div.divergence(x, y) == pytest.approx(max(expected, 0.0), rel=1e-9)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_gradient_inverse_roundtrip(self, name, div):
+        points = points_for(div, 10, 8, seed=5)
+        for row in points:
+            grad = div.phi_prime(row)
+            back = div.gradient_inverse(grad)
+            np.testing.assert_allclose(back, row, rtol=1e-8, atol=1e-8)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_elementwise_divergence_sums_to_total(self, name, div):
+        points = points_for(div, 8, 8, seed=6)
+        x, y = points[2], points[3]
+        contrib = div.elementwise_divergence(x, y)
+        assert contrib.shape == (8,)
+        assert float(np.sum(contrib)) == pytest.approx(div.divergence(x, y), rel=1e-8, abs=1e-9)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_asymmetry_allowed(self, name, div):
+        """Bregman divergences are generally asymmetric; just check both
+        orders are valid non-negative numbers."""
+        points = points_for(div, 4, 8, seed=7)
+        x, y = points[0], points[1]
+        assert div.divergence(x, y) >= 0.0
+        assert div.divergence(y, x) >= 0.0
+
+
+class TestSpecificFormulas:
+    def test_squared_euclidean_formula(self):
+        div = SquaredEuclidean()
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([0.0, 1.0, -1.0])
+        assert div.divergence(x, y) == pytest.approx(1.0 + 1.0 + 16.0)
+
+    def test_itakura_saito_formula(self):
+        div = ItakuraSaito()
+        x = np.array([2.0, 1.0])
+        y = np.array([1.0, 2.0])
+        expected = (2.0 - np.log(2.0) - 1.0) + (0.5 - np.log(0.5) - 1.0)
+        assert div.divergence(x, y) == pytest.approx(expected)
+
+    def test_exponential_formula(self):
+        div = ExponentialDistance()
+        x = np.array([1.0])
+        y = np.array([0.0])
+        assert div.divergence(x, y) == pytest.approx(np.e - 2.0)
+
+    def test_generalized_kl_formula(self):
+        div = GeneralizedKL()
+        x = np.array([2.0])
+        y = np.array([1.0])
+        assert div.divergence(x, y) == pytest.approx(2.0 * np.log(2.0) - 1.0)
+
+    def test_diagonal_mahalanobis_matches_weighted_sq(self):
+        weights = np.array([1.0, 4.0])
+        div = DiagonalMahalanobis(weights)
+        x = np.array([1.0, 1.0])
+        y = np.array([0.0, 0.0])
+        assert div.divergence(x, y) == pytest.approx(0.5 * (1.0 + 4.0))
+
+    def test_p_norm_reduces_to_euclidean_at_p2(self):
+        p2 = PNormDivergence(p=2.0)
+        se = SquaredEuclidean()
+        x = np.array([0.3, -0.7, 1.1])
+        y = np.array([-0.2, 0.4, 0.9])
+        assert p2.divergence(x, y) == pytest.approx(se.divergence(x, y), rel=1e-9)
+
+    def test_full_mahalanobis_quadratic_form(self):
+        q = np.array([[2.0, 0.5], [0.5, 1.0]])
+        div = MahalanobisDivergence(q)
+        x = np.array([1.0, 0.0])
+        y = np.array([0.0, 0.0])
+        assert div.divergence(x, y) == pytest.approx(0.5 * 2.0)
+
+    def test_full_mahalanobis_batch(self):
+        q = np.array([[2.0, 0.5], [0.5, 1.0]])
+        div = MahalanobisDivergence(q)
+        pts = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        y = np.zeros(2)
+        batch = div.batch_divergence(pts, y)
+        expected = [div.divergence(p, y) for p in pts]
+        np.testing.assert_allclose(batch, expected)
+
+
+class TestDomains:
+    def test_itakura_saito_rejects_non_positive(self):
+        div = ItakuraSaito()
+        with pytest.raises(DomainError):
+            div.validate_domain(np.array([1.0, 0.0]))
+        with pytest.raises(DomainError):
+            div.validate_domain(np.array([-1.0, 1.0]))
+
+    def test_shannon_entropy_rejects_outside_unit(self):
+        div = ShannonEntropy()
+        with pytest.raises(DomainError):
+            div.validate_domain(np.array([0.5, 1.0]))
+
+    def test_exponential_rejects_overflow_range(self):
+        div = ExponentialDistance(max_abs=10.0)
+        with pytest.raises(DomainError):
+            div.validate_domain(np.array([11.0]))
+        div.validate_domain(np.array([9.0]))  # fine
+
+    def test_nan_rejected(self):
+        div = SquaredEuclidean()
+        with pytest.raises(DomainError):
+            div.validate_domain(np.array([np.nan, 1.0]))
+
+    def test_simplex_kl_requires_simplex(self):
+        div = SimplexKL()
+        div.validate_domain(np.array([0.25, 0.25, 0.5]))
+        with pytest.raises(DomainError):
+            div.validate_domain(np.array([0.5, 0.6]))
+
+
+class TestDecomposability:
+    def test_simplex_kl_not_restrictable(self):
+        with pytest.raises(NotDecomposableError):
+            SimplexKL().restrict([0, 1])
+
+    def test_full_mahalanobis_not_restrictable(self):
+        q = np.eye(3)
+        with pytest.raises(NotDecomposableError):
+            MahalanobisDivergence(q).restrict([0, 1])
+
+    def test_diagonal_mahalanobis_restricts_weights(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        sub = DiagonalMahalanobis(weights).restrict([1, 3])
+        np.testing.assert_array_equal(sub.weights, [2.0, 4.0])
+
+    def test_restriction_is_cumulative(self):
+        """Restricted divergences must sum to the full divergence."""
+        for name, div in all_decomposable_divergences(6):
+            points = points_for(div, 4, 6, seed=8)
+            x, y = points[0], points[1]
+            dims_a, dims_b = [0, 2, 4], [1, 3, 5]
+            total = div.restrict(dims_a).divergence(
+                x[dims_a], y[dims_a]
+            ) + div.restrict(dims_b).divergence(x[dims_b], y[dims_b])
+            assert total == pytest.approx(div.divergence(x, y), rel=1e-8, abs=1e-9)
+
+    def test_supports_partitioning_flags(self):
+        assert SquaredEuclidean.supports_partitioning
+        assert not SimplexKL.supports_partitioning
+        assert not MahalanobisDivergence.supports_partitioning
+
+
+class TestParameterValidation:
+    def test_mahalanobis_rejects_asymmetric(self):
+        with pytest.raises(InvalidParameterError):
+            MahalanobisDivergence(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_mahalanobis_rejects_indefinite(self):
+        with pytest.raises(InvalidParameterError):
+            MahalanobisDivergence(np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_diagonal_mahalanobis_rejects_bad_weights(self):
+        with pytest.raises(InvalidParameterError):
+            DiagonalMahalanobis(np.array([1.0, 0.0]))
+        with pytest.raises(InvalidParameterError):
+            DiagonalMahalanobis(np.array([[1.0]]))
+
+    def test_p_norm_rejects_p_leq_1(self):
+        with pytest.raises(InvalidParameterError):
+            PNormDivergence(p=1.0)
+        with pytest.raises(InvalidParameterError):
+            PNormDivergence(p=np.inf)
+
+
+class TestRegistry:
+    def test_paper_abbreviations(self):
+        assert isinstance(get_divergence("ED"), ExponentialDistance)
+        assert isinstance(get_divergence("ISD"), ItakuraSaito)
+        assert isinstance(get_divergence("sed"), SquaredEuclidean)
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            get_divergence("no_such_divergence")
+
+    def test_available_list_sorted_and_nonempty(self):
+        names = available_divergences()
+        assert names == sorted(names)
+        assert "itakura_saito" in names
+
+    def test_fresh_instances(self):
+        assert get_divergence("ed") is not get_divergence("ed")

@@ -1,0 +1,106 @@
+"""Tests for metrics, the workload harness and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BrePartitionConfig, BrePartitionIndex, LinearScanIndex
+from repro.datasets import load_dataset
+from repro.eval import (
+    WorkloadResult,
+    format_series,
+    format_table,
+    overall_ratio,
+    recall_at_k,
+    run_workload,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestOverallRatio:
+    def test_exact_result_is_one(self):
+        d = np.array([1.0, 2.0, 3.0])
+        assert overall_ratio(d, d) == pytest.approx(1.0)
+
+    def test_worse_result_above_one(self):
+        assert overall_ratio(np.array([2.0, 4.0]), np.array([1.0, 2.0])) == pytest.approx(2.0)
+
+    def test_zero_distances_handled(self):
+        got = np.array([0.0, 2.0])
+        true = np.array([0.0, 2.0])
+        assert overall_ratio(got, true) == pytest.approx(1.0)
+
+    def test_zero_true_nonzero_got_skipped(self):
+        got = np.array([0.5, 2.0])
+        true = np.array([0.0, 2.0])
+        assert overall_ratio(got, true) == pytest.approx(1.0)
+
+    def test_size_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            overall_ratio(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k(np.array([1, 2, 3]), np.array([3, 2, 1])) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k(np.array([1, 2, 9]), np.array([1, 2, 3])) == pytest.approx(2 / 3)
+
+    def test_empty_truth(self):
+        with pytest.raises(InvalidParameterError):
+            recall_at_k(np.array([1]), np.array([]))
+
+
+class TestHarness:
+    def test_run_workload_exact_index(self):
+        ds = load_dataset("normal", n=150, d=16, n_queries=5, seed=0)
+        index = BrePartitionIndex(
+            ds.divergence,
+            BrePartitionConfig(n_partitions=2, seed=0, page_size_bytes=2048),
+        ).build(ds.points)
+        result = run_workload(index, ds, k=5, method_name="BP")
+        assert result.method == "BP"
+        assert result.mean_overall_ratio == pytest.approx(1.0, abs=1e-6)
+        assert result.mean_recall == pytest.approx(1.0)
+        assert result.mean_io > 0
+        assert result.n_queries == 5
+
+    def test_run_workload_linear_scan(self):
+        ds = load_dataset("uniform", n=120, d=12, n_queries=4, seed=0)
+        index = LinearScanIndex(ds.divergence, page_size_bytes=2048).build(ds.points)
+        result = run_workload(index, ds, k=3)
+        assert result.mean_io == index.datastore.n_pages
+        assert result.mean_overall_ratio == pytest.approx(1.0, abs=1e-9)
+
+    def test_row_and_headers_align(self):
+        ds = load_dataset("normal", n=100, d=8, n_queries=2, seed=0)
+        index = LinearScanIndex(ds.divergence, page_size_bytes=2048).build(ds.points)
+        result = run_workload(index, ds, k=2)
+        assert len(result.row()) == len(WorkloadResult.headers())
+
+    def test_query_subset(self):
+        ds = load_dataset("normal", n=100, d=8, n_queries=10, seed=0)
+        index = LinearScanIndex(ds.divergence, page_size_bytes=2048).build(ds.points)
+        result = run_workload(index, ds, k=2, n_queries=3)
+        assert result.n_queries == 3
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [300, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long_header" in lines[0]
+        assert all(len(line) <= len(lines[0]) + 10 for line in lines)
+
+    def test_format_series(self):
+        text = format_series("BP", [20, 40], [1.5, 2.0])
+        assert text.startswith("BP:")
+        assert "20=1.500" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.00001], [12345.678], [1.5]])
+        assert "1e-05" in text
+        assert "1.23e+04" in text or "12345.7" in text or "1.23e+4" in text

@@ -1,0 +1,195 @@
+"""Tests for the Cauchy bounds, Bregman balls and dual projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.divergences import ItakuraSaito, SquaredEuclidean
+from repro.geometry import (
+    BregmanBall,
+    batch_upper_bounds,
+    compute_upper_bound,
+    cross_term,
+    min_divergence_to_ball,
+    project_to_ball,
+    transform_point,
+    transform_points,
+    transform_query,
+)
+
+from .conftest import all_decomposable_divergences, points_for
+
+
+class TestCauchyBound:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(10))
+    def test_upper_bound_dominates_divergence(self, name, div):
+        """Theorem 1: UBCompute(P(x), Q(y)) >= D(x, y), always."""
+        points = points_for(div, 40, 10, seed=11)
+        for y in points[:5]:
+            triple = transform_query(div, y)
+            for x in points:
+                bound = compute_upper_bound(transform_point(div, x), triple)
+                assert bound >= div.divergence(x, y) - 1e-9
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(10))
+    def test_batch_bounds_match_scalar(self, name, div):
+        points = points_for(div, 25, 10, seed=12)
+        y = points[0]
+        triple = transform_query(div, y)
+        alpha, gamma = transform_points(div, points)
+        batch = batch_upper_bounds(alpha, gamma, triple)
+        scalar = np.array(
+            [compute_upper_bound(transform_point(div, x), triple) for x in points]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-9)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(10))
+    def test_decomposition_identity(self, name, div):
+        """D(x,y) = alpha_x + alpha_y + beta_xy + beta_yy, exactly."""
+        points = points_for(div, 8, 10, seed=13)
+        x, y = points[0], points[1]
+        p = transform_point(div, x)
+        q = transform_query(div, y)
+        reconstructed = p.alpha + q.alpha + cross_term(div, x, y) + q.beta_yy
+        assert reconstructed == pytest.approx(div.divergence(x, y), rel=1e-8, abs=1e-8)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(12))
+    def test_subspace_bounds_sum_dominates_total(self, name, div):
+        """Theorem 2: sum of per-subspace bounds >= full divergence."""
+        points = points_for(div, 20, 12, seed=14)
+        rng = np.random.default_rng(3)
+        perm = rng.permutation(12)
+        subspaces = [perm[:4], perm[4:8], perm[8:]]
+        y = points[0]
+        for x in points:
+            total = 0.0
+            for dims in subspaces:
+                sub = div.restrict(dims)
+                total += compute_upper_bound(
+                    transform_point(sub, x[dims]), transform_query(sub, y[dims])
+                )
+            assert total >= div.divergence(x, y) - 1e-8
+
+    def test_more_partitions_tighter_bound(self):
+        """The paper's Section 5 claim: finer partitions never loosen the
+        summed Cauchy bound (Cauchy-Schwarz on the subspace norms)."""
+        div = SquaredEuclidean()
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=16) * rng.uniform(0.1, 3.0, 16)
+        y = rng.normal(size=16) * rng.uniform(0.1, 3.0, 16)
+
+        def summed_bound(subspaces):
+            return sum(
+                compute_upper_bound(
+                    transform_point(div, x[list(dims)]),
+                    transform_query(div, y[list(dims)]),
+                )
+                for dims in subspaces
+            )
+
+        coarse = summed_bound([range(0, 8), range(8, 16)])
+        fine = summed_bound([range(0, 4), range(4, 8), range(8, 12), range(12, 16)])
+        assert fine <= coarse + 1e-9
+
+    def test_point_tuple_values(self):
+        div = SquaredEuclidean()
+        x = np.array([1.0, 2.0])
+        p = transform_point(div, x)
+        assert p.alpha == pytest.approx(5.0)  # sum of squares
+        assert p.gamma == pytest.approx(5.0)
+
+    def test_query_triple_values(self):
+        div = SquaredEuclidean()
+        y = np.array([1.0, 2.0])
+        q = transform_query(div, y)
+        assert q.alpha == pytest.approx(-5.0)
+        assert q.beta_yy == pytest.approx(2.0 * 5.0)  # sum y * 2y
+        assert q.delta == pytest.approx(4.0 * 5.0)  # sum (2y)^2
+
+
+class TestBregmanBall:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(6))
+    def test_covering_ball_contains_all(self, name, div):
+        points = points_for(div, 30, 6, seed=15)
+        ball = BregmanBall.covering(div, points)
+        for row in points:
+            assert ball.contains(div, row)
+
+    def test_radius_never_negative(self):
+        ball = BregmanBall(center=np.zeros(3), radius=-1.0)
+        assert ball.radius == 0.0
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(6))
+    def test_min_divergence_is_lower_bound(self, name, div):
+        """The projection bound never exceeds any member's divergence."""
+        points = points_for(div, 40, 6, seed=16)
+        ball = BregmanBall.covering(div, points[:30])
+        for query in points[30:]:
+            lower = ball.min_divergence(div, query)
+            member_best = min(div.divergence(row, query) for row in points[:30])
+            assert lower <= member_best + 1e-7
+
+    def test_query_inside_ball_gives_zero(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(5).normal(size=(20, 4))
+        ball = BregmanBall.covering(div, points)
+        assert ball.min_divergence(div, points[3]) == 0.0
+
+    def test_intersects_range_far_query(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(6).normal(size=(10, 4)) * 0.1
+        ball = BregmanBall.covering(div, points)
+        far = np.full(4, 100.0)
+        assert not ball.intersects_range(div, far, range_radius=1.0)
+        assert ball.intersects_range(div, points[0], range_radius=1.0)
+
+
+class TestProjection:
+    def test_min_divergence_negative_radius_treated_as_zero(self):
+        div = SquaredEuclidean()
+        center = np.zeros(3)
+        query = np.ones(3)
+        value = min_divergence_to_ball(div, center, -5.0, query)
+        assert value == pytest.approx(div.divergence(center, query), rel=1e-6)
+
+    def test_exactness_for_euclidean(self):
+        """For SED the ball is a Euclidean ball of radius sqrt(R); the
+        exact minimum is (||q - c|| - sqrt(R))^2."""
+        div = SquaredEuclidean()
+        center = np.zeros(4)
+        radius = 4.0  # Euclidean radius 2
+        query = np.array([5.0, 0.0, 0.0, 0.0])
+        expected = (5.0 - 2.0) ** 2
+        value = min_divergence_to_ball(div, center, radius, query)
+        assert value == pytest.approx(expected, rel=1e-5)
+
+    def test_projection_lands_near_boundary(self):
+        div = ItakuraSaito()
+        rng = np.random.default_rng(7)
+        points = np.exp(rng.normal(0.0, 0.4, size=(20, 5)))
+        ball = BregmanBall.covering(div, points)
+        query = np.exp(rng.normal(2.0, 0.1, size=5))
+        if div.divergence(query, ball.center) > ball.radius:
+            proj = project_to_ball(div, ball.center, ball.radius, query)
+            assert div.divergence(proj, ball.center) == pytest.approx(
+                ball.radius, rel=1e-3
+            )
+
+    def test_projection_inside_returns_query(self):
+        div = SquaredEuclidean()
+        center = np.zeros(3)
+        query = np.array([0.1, 0.0, 0.0])
+        out = project_to_ball(div, center, radius=1.0, query=query)
+        np.testing.assert_array_equal(out, query)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(5))
+    def test_lower_bound_converges_to_sampled_minimum(self, name, div):
+        """With many iterations the bound should be close to (and still
+        below) the minimum over dense samples of the ball."""
+        points = points_for(div, 60, 5, seed=17)
+        ball = BregmanBall.covering(div, points[:50])
+        query = points[55]
+        lower = min_divergence_to_ball(div, ball.center, ball.radius, query, max_iter=80)
+        sampled = min(div.divergence(row, query) for row in points[:50])
+        assert lower <= sampled + 1e-7

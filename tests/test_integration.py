@@ -1,0 +1,139 @@
+"""Cross-module integration tests: all indexes agree; I/O accounting and
+the PCCP/BB-forest layout interact as designed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximateBrePartitionIndex,
+    BBTreeIndex,
+    BrePartitionConfig,
+    BrePartitionIndex,
+    LinearScanIndex,
+    VAFileIndex,
+    brute_force_knn,
+)
+from repro.datasets import load_dataset
+from repro.storage import DiskAccessTracker
+
+
+@pytest.fixture(scope="module")
+def fonts():
+    return load_dataset("fonts", n=400, d=48, n_queries=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def audio():
+    return load_dataset("audio", n=400, d=48, n_queries=6, seed=0)
+
+
+class TestAllIndexesAgree:
+    def test_exact_methods_identical_results(self, fonts):
+        div, points = fonts.divergence, fonts.points
+        bp = BrePartitionIndex(
+            div, BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096)
+        ).build(points)
+        vaf = VAFileIndex(div, bits=8, page_size_bytes=4096).build(points)
+        bbt = BBTreeIndex(div, page_size_bytes=4096, seed=0).build(points)
+        lin = LinearScanIndex(div, page_size_bytes=4096).build(points)
+        for q in fonts.queries:
+            reference = lin.search(q, 10).divergences
+            for index in (bp, vaf, bbt):
+                got = index.search(q, 10).divergences
+                np.testing.assert_allclose(got, reference, rtol=1e-7, atol=1e-9)
+
+    def test_exact_methods_match_brute_force(self, audio):
+        div, points = audio.divergence, audio.points
+        bp = BrePartitionIndex(
+            div, BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096)
+        ).build(points)
+        for q in audio.queries:
+            result = bp.search(q, 20)
+            _, true_dists = brute_force_knn(div, points, q, 20)
+            np.testing.assert_allclose(result.divergences, true_dists, rtol=1e-7)
+
+
+class TestIOAccounting:
+    def test_shared_tracker_across_indexes(self, fonts):
+        tracker = DiskAccessTracker()
+        div, points = fonts.divergence, fonts.points
+        bp = BrePartitionIndex(
+            div,
+            BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096),
+            tracker=tracker,
+        ).build(points)
+        bp.search(fonts.queries[0], 5)
+        assert tracker.queries == 1
+        assert tracker.total_pages_read > 0
+
+    def test_bp_beats_linear_scan_on_prunable_data(self, fonts):
+        """Fonts-proxy (heterogeneous energy + ISD) is the regime where
+        the Cauchy filter prunes; BP must read fewer pages than a scan."""
+        div, points = fonts.divergence, fonts.points
+        bp = BrePartitionIndex(
+            div, BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096)
+        ).build(points)
+        lin = LinearScanIndex(div, page_size_bytes=4096).build(points)
+        bp_io = np.mean([bp.search(q, 5).stats.pages_read for q in fonts.queries])
+        lin_io = np.mean([lin.search(q, 5).stats.pages_read for q in fonts.queries])
+        assert bp_io < lin_io
+
+    def test_pccp_union_no_worse_than_contiguous(self, fonts):
+        """PCCP's purpose: overlapping per-subspace candidate sets.  On
+        the correlated fonts proxy its union must not exceed the
+        contiguous strategy's union (averaged over queries)."""
+        div, points = fonts.divergence, fonts.points
+        pccp = BrePartitionIndex(
+            div,
+            BrePartitionConfig(
+                n_partitions=6, strategy="pccp", seed=0, page_size_bytes=4096
+            ),
+        ).build(points)
+        contiguous = BrePartitionIndex(
+            div,
+            BrePartitionConfig(
+                n_partitions=6, strategy="contiguous", seed=0, page_size_bytes=4096
+            ),
+        ).build(points)
+        pccp_cand = np.mean(
+            [pccp.search(q, 5).stats.n_candidates for q in fonts.queries]
+        )
+        cont_cand = np.mean(
+            [contiguous.search(q, 5).stats.n_candidates for q in fonts.queries]
+        )
+        assert pccp_cand <= cont_cand * 1.1  # allow small noise margin
+
+
+class TestApproximateIntegration:
+    def test_abp_no_more_io_than_bp(self, fonts):
+        div, points = fonts.divergence, fonts.points
+        bp = BrePartitionIndex(
+            div, BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096)
+        ).build(points)
+        abp = ApproximateBrePartitionIndex(
+            div,
+            probability=0.7,
+            config=BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096),
+        ).build(points)
+        bp_io = np.mean([bp.search(q, 10).stats.pages_read for q in fonts.queries])
+        abp_io = np.mean([abp.search(q, 10).stats.pages_read for q in fonts.queries])
+        assert abp_io <= bp_io + 1e-9
+
+    def test_abp_overall_ratio_reasonable(self, fonts):
+        div, points = fonts.divergence, fonts.points
+        abp = ApproximateBrePartitionIndex(
+            div,
+            probability=0.9,
+            config=BrePartitionConfig(n_partitions=4, seed=0, page_size_bytes=4096),
+        ).build(points)
+        ratios = []
+        for q in fonts.queries:
+            result = abp.search(q, 10)
+            _, true_dists = brute_force_knn(div, points, q, 10)
+            got = result.divergences
+            if got.size < 10:
+                continue
+            ratios.append(float(np.mean(got / np.maximum(true_dists, 1e-12))))
+        assert ratios and float(np.mean(ratios)) < 1.5

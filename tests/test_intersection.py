@@ -1,0 +1,78 @@
+"""Tests for the early-exit ball-vs-range intersection test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.divergences import ItakuraSaito, SquaredEuclidean
+from repro.geometry import (
+    BregmanBall,
+    ball_intersects_range,
+    min_divergence_to_ball,
+)
+
+from .conftest import all_decomposable_divergences, points_for
+
+
+class TestBallIntersectsRange:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(6))
+    def test_agrees_with_projection_bound(self, name, div):
+        """The fast test must never prune a ball whose exact minimum is
+        inside the range (soundness), and should agree with the full
+        projection on clear-cut cases."""
+        points = points_for(div, 60, 6, seed=101)
+        ball = BregmanBall.covering(div, points[:40])
+        for query in points[40:50]:
+            exact_min = min_divergence_to_ball(
+                div, ball.center, ball.radius, query, max_iter=80
+            )
+            for radius in (exact_min * 0.5, exact_min * 2.0 + 1e-6):
+                decision = ball_intersects_range(
+                    div, ball.center, ball.radius, query, radius
+                )
+                if radius >= exact_min:
+                    assert decision, "must keep balls whose minimum is in range"
+
+    def test_member_point_in_range_forces_yes(self):
+        div = SquaredEuclidean()
+        rng = np.random.default_rng(102)
+        points = rng.normal(size=(30, 5))
+        ball = BregmanBall.covering(div, points)
+        # Query far away but range radius reaching a member point.
+        query = np.full(5, 10.0)
+        member_dist = min(div.divergence(p, query) for p in points)
+        assert ball_intersects_range(div, ball.center, ball.radius, query, member_dist + 1e-9)
+
+    def test_far_ball_pruned(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(103).normal(size=(20, 4)) * 0.1
+        ball = BregmanBall.covering(div, points)
+        query = np.full(4, 50.0)
+        assert not ball_intersects_range(div, ball.center, ball.radius, query, 1.0)
+
+    def test_negative_range_is_no(self):
+        div = SquaredEuclidean()
+        assert not ball_intersects_range(div, np.zeros(3), 1.0, np.zeros(3), -1.0)
+
+    def test_query_inside_ball_is_yes(self):
+        div = ItakuraSaito()
+        center = np.ones(4)
+        query = np.ones(4) * 1.01
+        radius = div.divergence(query, center) + 0.1
+        assert ball_intersects_range(div, center, radius, query, 0.0)
+
+    def test_center_inside_range_is_yes(self):
+        div = SquaredEuclidean()
+        assert ball_intersects_range(div, np.zeros(3), 100.0, np.ones(3), 3.1)
+
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(5))
+    def test_soundness_randomised(self, name, div):
+        """Whenever a member point lies within the range, the test must
+        say 'intersects' (the property range queries rely on)."""
+        points = points_for(div, 50, 5, seed=104)
+        ball = BregmanBall.covering(div, points[:30])
+        for query in points[30:40]:
+            dists = div.batch_divergence(points[:30], query)
+            radius = float(np.min(dists)) + 1e-9
+            assert ball_intersects_range(div, ball.center, ball.radius, query, radius)

@@ -1,0 +1,117 @@
+"""Tests for the VA-file baseline and its quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import VAFileIndex, brute_force_knn
+from repro.divergences import ItakuraSaito, SquaredEuclidean
+from repro.exceptions import InvalidParameterError, NotFittedError
+from repro.vafile import UniformQuantizer
+
+from .conftest import all_decomposable_divergences, points_for
+
+
+class TestUniformQuantizer:
+    def test_cells_in_range(self):
+        q = UniformQuantizer(bits=4).fit(np.random.default_rng(0).normal(size=(100, 5)))
+        cells = q.encode(np.random.default_rng(1).normal(size=(50, 5)))
+        assert cells.min() >= 0 and cells.max() <= 15
+
+    def test_bounds_contain_training_values(self):
+        points = np.random.default_rng(2).normal(size=(200, 4))
+        q = UniformQuantizer(bits=6).fit(points)
+        cells = q.encode(points)
+        low, high = q.cell_bounds(cells)
+        assert np.all(points >= low - 1e-9)
+        assert np.all(points <= high + 1e-9)
+
+    def test_constant_dimension(self):
+        points = np.zeros((50, 3))
+        points[:, 1] = 5.0
+        points[:, 0] = np.random.default_rng(3).normal(size=50)
+        points[:, 2] = np.random.default_rng(4).normal(size=50)
+        q = UniformQuantizer(bits=4).fit(points)
+        cells = q.encode(points)
+        low, high = q.cell_bounds(cells)
+        assert np.all(low[:, 1] <= 5.0) and np.all(high[:, 1] >= 5.0)
+
+    def test_more_bits_tighter_cells(self):
+        points = np.random.default_rng(5).normal(size=(100, 3))
+        coarse = UniformQuantizer(bits=2).fit(points)
+        fine = UniformQuantizer(bits=8).fit(points)
+        assert np.all(fine.widths <= coarse.widths + 1e-12)
+
+    def test_invalid_bits(self):
+        with pytest.raises(InvalidParameterError):
+            UniformQuantizer(bits=0)
+        with pytest.raises(InvalidParameterError):
+            UniformQuantizer(bits=20)
+
+    def test_unfit_raises(self):
+        with pytest.raises(NotFittedError):
+            UniformQuantizer().encode(np.zeros((2, 2)))
+
+
+class TestVAFileIndex:
+    @pytest.mark.parametrize("name,div", all_decomposable_divergences(8))
+    def test_exactness(self, name, div):
+        points = points_for(div, 150, 8, seed=71)
+        index = VAFileIndex(div, bits=8, page_size_bytes=1024).build(points)
+        for q in points_for(div, 3, 8, seed=72):
+            result = index.search(q, k=6)
+            _, true_dists = brute_force_knn(div, points, q, 6)
+            np.testing.assert_allclose(result.divergences, true_dists, rtol=1e-7)
+
+    def test_candidates_bounded_by_n(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 100, 6, seed=73)
+        index = VAFileIndex(div, bits=8, page_size_bytes=1024).build(points)
+        result = index.search(points[0], k=3)
+        assert 3 <= result.stats.n_candidates <= 100
+
+    def test_more_bits_fewer_candidates(self):
+        div = SquaredEuclidean()
+        points = np.random.default_rng(6).normal(size=(400, 8))
+        q = np.random.default_rng(7).normal(size=8)
+        coarse = VAFileIndex(div, bits=3, page_size_bytes=1024).build(points)
+        fine = VAFileIndex(div, bits=10, page_size_bytes=1024).build(points)
+        assert (
+            fine.search(q, 5).stats.n_candidates
+            <= coarse.search(q, 5).stats.n_candidates
+        )
+
+    def test_io_includes_va_scan(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 200, 8, seed=74)
+        index = VAFileIndex(div, bits=8, page_size_bytes=512).build(points)
+        result = index.search(points[0], k=3)
+        assert result.stats.pages_read >= index._va_pages
+
+    def test_unbuilt_raises(self):
+        with pytest.raises(NotFittedError):
+            VAFileIndex(SquaredEuclidean()).search(np.zeros(3), 1)
+
+    def test_invalid_k(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 40, 6, seed=75)
+        index = VAFileIndex(div, page_size_bytes=1024).build(points)
+        with pytest.raises(InvalidParameterError):
+            index.search(points[0], 0)
+
+    def test_isd_heavy_tail(self):
+        """Quantization must stay exact on skewed positive data."""
+        div = ItakuraSaito()
+        points = np.exp(np.random.default_rng(8).normal(0.0, 1.0, size=(200, 6)))
+        index = VAFileIndex(div, bits=6, page_size_bytes=1024).build(points)
+        q = np.exp(np.random.default_rng(9).normal(0.0, 1.0, size=6))
+        result = index.search(q, k=5)
+        _, true_dists = brute_force_knn(div, points, q, 5)
+        np.testing.assert_allclose(result.divergences, true_dists, rtol=1e-7)
+
+    def test_construction_time_recorded(self):
+        div = SquaredEuclidean()
+        points = points_for(div, 50, 6, seed=76)
+        index = VAFileIndex(div, page_size_bytes=1024).build(points)
+        assert index.construction_seconds > 0.0
