@@ -42,6 +42,18 @@ def main() -> None:
     assert np.allclose(result.divergences, true_dists), "should be exact!"
     print("\nverified: identical to brute-force kNN")
 
+    # Batched queries share one vectorized pass (bound tensor, BB-forest
+    # traversal, coalesced page reads) and return the same exact answers.
+    queries = np.exp(rng.normal(0.0, 0.6, size=(32, 64)))
+    batch = index.search_batch(queries, k=10)
+    print(f"\nbatch of {len(batch)}: {batch.stats.pages_read} coalesced page "
+          f"reads ({batch.stats.pages_saved} saved vs one-at-a-time), "
+          f"{batch.stats.cpu_seconds * 1000.0:.1f}ms total")
+    for single_query, batched in zip(queries, batch):
+        solo = index.search(single_query, k=10)
+        assert np.array_equal(solo.ids, batched.ids), "batch must match search"
+    print("verified: search_batch identical to per-query search")
+
 
 if __name__ == "__main__":
     main()

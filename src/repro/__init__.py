@@ -30,6 +30,7 @@ Subpackages
 from .baselines import BBTreeIndex, LinearScanIndex, VarBBTreeIndex, brute_force_knn
 from .core import (
     ApproximateBrePartitionIndex,
+    BatchSearchResult,
     BrePartitionConfig,
     BrePartitionIndex,
     SearchResult,
@@ -67,6 +68,7 @@ __all__ = [
     "ApproximateBrePartitionIndex",
     "BrePartitionConfig",
     "SearchResult",
+    "BatchSearchResult",
     # divergences
     "BregmanDivergence",
     "DecomposableBregmanDivergence",

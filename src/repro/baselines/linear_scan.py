@@ -11,7 +11,7 @@ import time
 
 import numpy as np
 
-from ..core.results import QueryStats, SearchResult
+from ..core.results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
 from ..divergences.base import BregmanDivergence
 from ..exceptions import InvalidParameterError, NotFittedError
 from ..storage.datastore import DataStore
@@ -77,3 +77,51 @@ class LinearScanIndex:
             points_evaluated=n,
         )
         return SearchResult(ids=ids, divergences=dists, stats=stats)
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Batched scan: one sequential read serves every query.
+
+        Returns exactly what per-query :meth:`search` would (same oracle),
+        but the file is scanned -- and its pages charged -- once for the
+        whole batch instead of once per query.
+        """
+        if self.datastore is None:
+            raise NotFittedError("LinearScanIndex.build() must be called first")
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        n = self.datastore.n_points
+        if queries.shape[1] != self.datastore.dimensionality:
+            raise InvalidParameterError(
+                f"queries must have shape (B, {self.datastore.dimensionality}), "
+                f"got {queries.shape}"
+            )
+        if not 1 <= k <= n:
+            raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+
+        self.tracker.start_query()
+        start = time.perf_counter()
+        points = self.datastore.scan()
+        solo_pages = self.datastore.n_pages
+        results = []
+        for query in queries:
+            ids, dists = brute_force_knn(self.divergence, points, query, k)
+            stats = QueryStats(
+                pages_read=solo_pages,
+                n_candidates=n,
+                points_evaluated=n,
+            )
+            results.append(SearchResult(ids=ids, divergences=dists, stats=stats))
+        elapsed = time.perf_counter() - start
+        snapshot = self.tracker.end_query()
+        n_queries = queries.shape[0]
+        if n_queries:
+            for result in results:
+                result.stats.cpu_seconds = elapsed / n_queries
+        batch_stats = BatchQueryStats(
+            pages_read=snapshot.pages_read,
+            pages_read_unshared=solo_pages * n_queries,
+            pages_coalesced=solo_pages,
+            cpu_seconds=elapsed,
+            n_queries=n_queries,
+            n_candidates=n * n_queries,
+        )
+        return BatchSearchResult(results=results, stats=batch_stats)

@@ -3,7 +3,7 @@
 from .dynamic import delete_point, insert_point
 from .forest import BBForest, ForestRangeStats
 from .node import BBTreeNode
-from .tree import BBTree, KnnStats, RangeResult
+from .tree import BatchRangeResult, BBTree, KnnStats, RangeResult
 
 __all__ = [
     "BBTree",
@@ -12,6 +12,7 @@ __all__ = [
     "ForestRangeStats",
     "KnnStats",
     "RangeResult",
+    "BatchRangeResult",
     "insert_point",
     "delete_point",
 ]

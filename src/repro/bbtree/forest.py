@@ -20,7 +20,7 @@ import numpy as np
 from ..divergences.base import DecomposableBregmanDivergence
 from ..exceptions import NotFittedError
 from ..partitioning.scheme import Partitioning
-from .tree import BBTree, RangeResult
+from .tree import BatchRangeResult, BBTree, RangeResult
 
 __all__ = ["BBForest", "ForestRangeStats"]
 
@@ -130,6 +130,57 @@ class BBForest:
             leaves_visited=leaves,
         )
         return union, stats
+
+    def range_union_batch(
+        self,
+        query_submatrices: Sequence[np.ndarray],
+        radii: np.ndarray,
+        point_filter: bool = False,
+    ) -> tuple[List[np.ndarray], List[ForestRangeStats]]:
+        """Batched :meth:`range_union`: each tree traversed once per batch.
+
+        ``query_submatrices[i]`` is the ``(B, d_i)`` stack of the batch's
+        subvectors in subspace ``i`` and ``radii[:, i]`` their range
+        radii.  Returns per-query candidate unions and per-query stats.
+        """
+        trees = self._require_built()
+        radii = np.asarray(radii, dtype=float)
+        b = radii.shape[0]
+        m = len(trees)
+        n = self.layout_order.size
+        per_counts = np.zeros((b, m), dtype=int)
+        leaves = np.zeros(b, dtype=int)
+        chunks: List[List[np.ndarray]] = [[] for _ in range(b)]
+        for i, (tree, sub_queries) in enumerate(zip(trees, query_submatrices)):
+            result: BatchRangeResult = tree.range_query_batch(
+                sub_queries, radii[:, i], point_filter=point_filter
+            )
+            leaves += result.leaves_visited
+            for q, ids in enumerate(result.point_ids):
+                per_counts[q, i] = ids.size
+                if ids.size:
+                    chunks[q].append(ids)
+        # Union by id-membership mask: O(n) per query and already sorted,
+        # cheaper than sort-based np.unique on the concatenated chunks.
+        member = np.zeros(n, dtype=bool)
+        unions = []
+        for parts in chunks:
+            if not parts:
+                unions.append(np.empty(0, dtype=int))
+                continue
+            member[:] = False
+            for ids in parts:
+                member[ids] = True
+            unions.append(np.flatnonzero(member))
+        stats = [
+            ForestRangeStats(
+                per_subspace_candidates=per_counts[q].tolist(),
+                union_candidates=int(unions[q].size),
+                leaves_visited=int(leaves[q]),
+            )
+            for q in range(b)
+        ]
+        return unions, stats
 
     def count_nodes(self) -> int:
         """Total nodes across all trees."""

@@ -28,10 +28,14 @@ from ..clustering.bregman_kmeans import bregman_kmeans
 from ..divergences.base import DecomposableBregmanDivergence
 from ..exceptions import InvalidParameterError, NotFittedError
 from ..geometry.ball import BregmanBall
-from ..geometry.projection import ball_intersects_range, min_divergence_to_ball
+from ..geometry.projection import (
+    BatchRangeProber,
+    ball_intersects_range,
+    min_divergence_to_ball,
+)
 from .node import BBTreeNode
 
-__all__ = ["BBTree", "KnnStats", "RangeResult"]
+__all__ = ["BBTree", "KnnStats", "RangeResult", "BatchRangeResult"]
 
 #: tie-breaker for the best-first heap (nodes are not comparable).
 _heap_counter = itertools.count()
@@ -52,6 +56,21 @@ class RangeResult:
 
     point_ids: np.ndarray
     leaves_visited: int = 0
+    nodes_examined: int = 0
+
+
+@dataclass
+class BatchRangeResult:
+    """Outcome of a batched range query over ``B`` queries.
+
+    ``point_ids[b]`` is query ``b``'s candidate set; ``leaves_visited[b]``
+    counts the leaves that reached query ``b``.  ``nodes_examined`` counts
+    *distinct* node visits of the shared traversal -- the amortisation a
+    batch buys over ``B`` independent traversals.
+    """
+
+    point_ids: List[np.ndarray]
+    leaves_visited: np.ndarray
     nodes_examined: int = 0
 
 
@@ -309,6 +328,88 @@ class BBTree:
             else np.empty(0, dtype=int)
         )
         return RangeResult(point_ids=ids, leaves_visited=stats_leaves, nodes_examined=stats_nodes)
+
+    def range_query_batch(
+        self,
+        queries: np.ndarray,
+        radii: np.ndarray,
+        point_filter: bool = False,
+    ) -> BatchRangeResult:
+        """Batched :meth:`range_query`: one shared traversal for ``B`` queries.
+
+        The tree is walked level-synchronously: all (node, query) ball
+        tests of a level run as one fused bisection
+        (:meth:`~repro.geometry.projection.BatchRangeProber.intersects_pairs`),
+        so the traversal's Python overhead is per level rather than per
+        node per query.  Queries whose range provably misses a ball drop
+        out of that subtree, so pruning composes with the amortisation.
+        """
+        root = self._require_built()
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        radii = np.asarray(radii, dtype=float)
+        b = queries.shape[0]
+        if radii.shape != (b,):
+            raise InvalidParameterError("radii must supply one radius per query")
+
+        prober = BatchRangeProber(
+            self.divergence, queries, radii, max_iter=self.lb_max_iter
+        )
+        chunks: List[List[np.ndarray]] = [[] for _ in range(b)]
+        leaves = np.zeros(b, dtype=int)
+        nodes_examined = 0
+        initial = np.flatnonzero(radii >= 0.0)
+        frontier: list[tuple[BBTreeNode, np.ndarray]] = (
+            [(root, initial)] if initial.size else []
+        )
+        while frontier:
+            nodes_examined += len(frontier)
+            centers = np.stack([node.ball.center for node, _ in frontier])
+            ball_radii = np.array([node.ball.radius for node, _ in frontier])
+            sizes = [active.size for _, active in frontier]
+            pair_node = np.repeat(np.arange(len(frontier)), sizes)
+            pair_query = np.concatenate([active for _, active in frontier])
+            keep = prober.intersects_pairs(centers, ball_radii, pair_node, pair_query)
+
+            next_frontier: list[tuple[BBTreeNode, np.ndarray]] = []
+            offset = 0
+            for (node, active), size in zip(frontier, sizes):
+                survivors = active[keep[offset : offset + size]]
+                offset += size
+                if survivors.size == 0:
+                    continue
+                if node.is_leaf:
+                    ids = node.point_ids
+                    leaves[survivors] += 1
+                    if point_filter:
+                        rows = np.array([self._row_of[int(pid)] for pid in ids])
+                        leaf_points = self._points[rows]
+                        # Evaluate through the same batch_divergence the
+                        # scalar range_query uses (divergences may
+                        # override it), so boundary rounding -- and hence
+                        # the candidate sets -- match bitwise.
+                        for qi in survivors:
+                            dists = self.divergence.batch_divergence(
+                                leaf_points, queries[qi]
+                            )
+                            selected = ids[dists <= radii[qi]]
+                            if selected.size:
+                                chunks[int(qi)].append(selected)
+                    else:
+                        for qi in survivors:
+                            chunks[int(qi)].append(ids)
+                else:
+                    if node.left is not None:
+                        next_frontier.append((node.left, survivors))
+                    if node.right is not None:
+                        next_frontier.append((node.right, survivors))
+            frontier = next_frontier
+        point_ids = [
+            np.concatenate(parts) if parts else np.empty(0, dtype=int)
+            for parts in chunks
+        ]
+        return BatchRangeResult(
+            point_ids=point_ids, leaves_visited=leaves, nodes_examined=nodes_examined
+        )
 
     # ------------------------------------------------------------------
     # dynamic updates (paper future work; see repro.bbtree.dynamic)

@@ -53,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--k", type=int, default=20)
     search.add_argument("--queries", type=int, default=10)
     search.add_argument("--partitions", type=int, default=None, help="M (default: Theorem 4)")
+    search.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="drive the workload through search_batch in chunks of B queries",
+    )
     search.add_argument("--probability", type=float, default=0.9, help="ABP guarantee p")
     search.add_argument("--seed", type=int, default=0)
 
@@ -105,6 +112,9 @@ def _make_index(args, dataset):
 
 
 def _cmd_search(args) -> int:
+    if args.batch is not None and args.batch < 1:
+        print(f"--batch must be >= 1, got {args.batch}", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
     print(f"dataset: {dataset!r} ({dataset.description})")
     index = _make_index(args, dataset)
@@ -113,8 +123,23 @@ def _cmd_search(args) -> int:
         print(f"built in {index.construction_seconds:.2f}s, M={index.n_partitions}")
     else:
         print(f"built in {index.construction_seconds:.2f}s")
-    result = run_workload(index, dataset, k=args.k, method_name=args.method.upper())
+    if args.batch is not None and not hasattr(index, "search_batch"):
+        print(f"method {args.method!r} has no batch engine; ignoring --batch")
+        args.batch = None
+    result = run_workload(
+        index,
+        dataset,
+        k=args.k,
+        method_name=args.method.upper(),
+        batch_size=args.batch,
+    )
     print(format_table(WorkloadResult.headers(), [result.row()]))
+    if args.batch is not None:
+        saved = result.extras.get("batch_pages_saved", 0)
+        print(
+            f"batch mode: B={args.batch}, coalesced I/O saved "
+            f"{saved} page reads across {result.n_queries} queries"
+        )
     return 0
 
 

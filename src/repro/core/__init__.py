@@ -3,8 +3,14 @@
 from .approximate import ApproximateBrePartitionIndex, BetaXYModel
 from .config import BrePartitionConfig
 from .index import BrePartitionIndex
-from .results import QueryStats, SearchResult
-from .transforms import SearchBounds, SubspaceTransforms, determine_search_bounds
+from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
+from .transforms import (
+    SearchBounds,
+    SearchBoundsBatch,
+    SubspaceTransforms,
+    determine_search_bounds,
+    determine_search_bounds_batch,
+)
 
 __all__ = [
     "BrePartitionIndex",
@@ -13,7 +19,11 @@ __all__ = [
     "BrePartitionConfig",
     "QueryStats",
     "SearchResult",
+    "BatchQueryStats",
+    "BatchSearchResult",
     "SubspaceTransforms",
     "SearchBounds",
+    "SearchBoundsBatch",
     "determine_search_bounds",
+    "determine_search_bounds_batch",
 ]

@@ -166,3 +166,31 @@ class ApproximateBrePartitionIndex(BrePartitionIndex):
         c = self.beta_xy_model.coefficient(mu_total, kappa_total, self.probability)
         self._last_coefficient = c
         return kappas + c * mus
+
+    def _adjust_radii_batch(self, search_bounds, triples) -> np.ndarray:
+        """Vectorised :meth:`_adjust_radii` over a whole query batch.
+
+        The per-subspace ``kappa`` and ``mu`` terms are computed for all
+        queries with broadcasting; only Proposition 1's coefficient
+        (two CDF evaluations per query) remains a scalar loop.
+        """
+        anchors = search_bounds.anchor_ids
+        gamma_rows = self.transforms.gamma[anchors]  # (B, M)
+        alpha_rows = self.transforms.alpha[anchors]
+        kappas = alpha_rows + (triples.alpha + triples.beta_yy)
+        mus = np.sqrt(np.maximum(gamma_rows * triples.delta, 0.0))
+
+        mu_totals = np.sqrt(
+            np.maximum(gamma_rows.sum(axis=1) * triples.delta.sum(axis=1), 0.0)
+        )
+        kappa_totals = kappas.sum(axis=1)
+        coefficients = np.array(
+            [
+                self.beta_xy_model.coefficient(float(mu), float(kap), self.probability)
+                for mu, kap in zip(mu_totals, kappa_totals)
+            ]
+        )
+        self._last_coefficients = coefficients
+        if coefficients.size:  # mirror the scalar hook's introspection attr
+            self._last_coefficient = float(coefficients[-1])
+        return kappas + coefficients[:, None] * mus

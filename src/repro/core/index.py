@@ -41,8 +41,12 @@ from ..storage.buffer_pool import BufferPool
 from ..storage.datastore import DataStore
 from ..storage.io_stats import DiskAccessTracker
 from .config import BrePartitionConfig
-from .results import QueryStats, SearchResult
-from .transforms import SubspaceTransforms, determine_search_bounds
+from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
+from .transforms import (
+    SubspaceTransforms,
+    determine_search_bounds,
+    determine_search_bounds_batch,
+)
 
 __all__ = ["BrePartitionIndex"]
 
@@ -175,29 +179,9 @@ class BrePartitionIndex:
         candidates, forest_stats = self.forest.range_union(
             sub_queries, radii, point_filter=self.config.point_filter
         )
-        # Approximate radii can be too aggressive to return k results.
-        # Bisect the interpolation between the adjusted and the exact
-        # radii (which Theorem 3 guarantees yield >= k candidates) for
-        # the smallest widening that returns at least k.
-        if candidates.size < k and not np.array_equal(radii, exact_radii):
-            lo, hi = 0.0, 1.0
-            best = (
-                self.forest.range_union(
-                    sub_queries, exact_radii, point_filter=self.config.point_filter
-                )
-            )
-            for _ in range(8):
-                mid = 0.5 * (lo + hi)
-                mid_radii = radii + mid * (exact_radii - radii)
-                attempt = self.forest.range_union(
-                    sub_queries, mid_radii, point_filter=self.config.point_filter
-                )
-                if attempt[0].size >= k:
-                    best = attempt
-                    hi = mid
-                else:
-                    lo = mid
-            candidates, forest_stats = best
+        candidates, forest_stats = self._widen_if_short(
+            sub_queries, radii, exact_radii, k, candidates, forest_stats
+        )
 
         # Refinement: fetch candidates (charged I/O) and rank exactly.
         vectors = self.datastore.fetch(candidates)
@@ -220,8 +204,151 @@ class BrePartitionIndex:
             ids=candidates[order], divergences=exact[order], stats=stats
         )
 
+    def _widen_if_short(self, sub_queries, radii, exact_radii, k, candidates, forest_stats):
+        """Recover >= k candidates when adjusted radii were too aggressive.
+
+        Bisects the interpolation between the adjusted and the exact
+        radii (which Theorem 3 guarantees yield >= k candidates) for the
+        smallest widening that returns at least k.  Exact search radii
+        equal the exact radii, so this is a no-op there.
+        """
+        if candidates.size >= k or np.array_equal(radii, exact_radii):
+            return candidates, forest_stats
+        lo, hi = 0.0, 1.0
+        best = self.forest.range_union(
+            sub_queries, exact_radii, point_filter=self.config.point_filter
+        )
+        for _ in range(8):
+            mid = 0.5 * (lo + hi)
+            mid_radii = radii + mid * (exact_radii - radii)
+            attempt = self.forest.range_union(
+                sub_queries, mid_radii, point_filter=self.config.point_filter
+            )
+            if attempt[0].size >= k:
+                best = attempt
+                hi = mid
+            else:
+                lo = mid
+        return best
+
+    # ------------------------------------------------------------------
+    # batched search (vectorized Algorithm 6)
+    # ------------------------------------------------------------------
+
+    def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
+        """Exact kNN for a batch of queries in one vectorized pass.
+
+        Semantically equivalent to calling :meth:`search` per row of
+        ``queries`` (same ids and divergences), but the whole pipeline is
+        amortized across the batch:
+
+        * the ``(B, n, M)`` Theorem-1 bound tensor is one broadcasted
+          NumPy expression, and all per-query radii come from a single
+          ``np.argpartition`` over the ``(B, n)`` totals (Algorithm 4);
+        * each BB-tree is traversed once for the whole batch, testing a
+          node's ball against every active query in one vectorized
+          bisection;
+        * candidate vectors are fetched with page reads coalesced across
+          queries, so overlapping candidate pages are charged once.
+
+        Returns a :class:`BatchSearchResult`; ``result[b]`` is query
+        ``b``'s :class:`SearchResult`.  Per-query ``pages_read`` reports
+        what that query would have paid alone, while the batch-level
+        stats report the coalesced total actually charged.
+        """
+        self._require_built()
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        if queries.ndim != 2 or queries.shape[1] != self.partitioning.dimensionality:
+            raise InvalidParameterError(
+                f"queries must have shape (B, {self.partitioning.dimensionality}), "
+                f"got {queries.shape}"
+            )
+        self.divergence.validate_domain(queries, "query batch")
+        if not 1 <= k <= self.transforms.n_points:
+            raise InvalidParameterError(
+                f"k must be in [1, {self.transforms.n_points}], got {k}"
+            )
+        n_queries = queries.shape[0]
+
+        self.tracker.start_query()
+        start = time.perf_counter()
+
+        # Filter: one vectorized pass for bounds, radii and traversal.
+        triples = self.transforms.query_triples_batch(queries)
+        ub_tensor = self.transforms.upper_bound_tensor(triples)
+        search_bounds = determine_search_bounds_batch(ub_tensor, k)
+        exact_radii = search_bounds.radii + _RADIUS_EPS * (
+            1.0 + np.abs(search_bounds.radii)
+        )
+        radii = self._adjust_radii_batch(search_bounds, triples)
+        radii = radii + _RADIUS_EPS * (1.0 + np.abs(radii))
+
+        sub_matrices = self.partitioning.split_matrix(queries)
+        candidates, forest_stats = self.forest.range_union_batch(
+            sub_matrices, radii, point_filter=self.config.point_filter
+        )
+        for q in range(n_queries):
+            if candidates[q].size < k:
+                sub_queries = [mat[q] for mat in sub_matrices]
+                candidates[q], forest_stats[q] = self._widen_if_short(
+                    sub_queries,
+                    radii[q],
+                    exact_radii[q],
+                    k,
+                    candidates[q],
+                    forest_stats[q],
+                )
+
+        # Refinement: charge the batch's page union once, then rank each
+        # query exactly over I/O-free reads (the vectors' pages are paid).
+        coalesced_pages = self.datastore.charge_pages_for(candidates)
+        per_query_seconds = 0.0  # filled after the loop; ranking is cheap
+        results: list[SearchResult] = []
+        unshared_pages = 0
+        total_candidates = 0
+        for q in range(n_queries):
+            ids = candidates[q]
+            exact = self.divergence.batch_divergence(self.datastore.peek(ids), queries[q])
+            k_eff = min(k, ids.size)
+            order = np.argsort(exact)[:k_eff]
+            solo_pages = self.datastore.count_pages_of(ids)
+            unshared_pages += solo_pages
+            total_candidates += int(ids.size)
+            stats = QueryStats(
+                pages_read=solo_pages,
+                cpu_seconds=per_query_seconds,
+                n_candidates=int(ids.size),
+                search_bound=float(search_bounds.totals[q]),
+                per_subspace_candidates=forest_stats[q].per_subspace_candidates,
+                leaves_visited=forest_stats[q].leaves_visited,
+                points_evaluated=int(ids.size),
+            )
+            results.append(
+                SearchResult(ids=ids[order], divergences=exact[order], stats=stats)
+            )
+
+        elapsed = time.perf_counter() - start
+        snapshot = self.tracker.end_query()
+        if n_queries:
+            per_query_seconds = elapsed / n_queries
+            for result in results:
+                result.stats.cpu_seconds = per_query_seconds
+        batch_stats = BatchQueryStats(
+            pages_read=snapshot.pages_read,
+            pages_read_unshared=unshared_pages,
+            pages_coalesced=coalesced_pages,
+            cpu_seconds=elapsed,
+            n_queries=n_queries,
+            n_candidates=total_candidates,
+        )
+        return BatchSearchResult(results=results, stats=batch_stats)
+
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:
         """Hook for the approximate extension; exact search returns as-is."""
+        return search_bounds.radii
+
+    def _adjust_radii_batch(self, search_bounds, triples) -> np.ndarray:
+        """Batch analogue of :meth:`_adjust_radii`; exact search: as-is."""
         return search_bounds.radii
 
     # ------------------------------------------------------------------

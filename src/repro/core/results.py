@@ -7,7 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
-__all__ = ["QueryStats", "SearchResult"]
+__all__ = ["QueryStats", "SearchResult", "BatchQueryStats", "BatchSearchResult"]
 
 
 @dataclass
@@ -50,3 +50,62 @@ class SearchResult:
     def __iter__(self):
         """Iterate ``(id, divergence)`` pairs."""
         return iter(zip(self.ids.tolist(), self.divergences.tolist()))
+
+
+@dataclass
+class BatchQueryStats:
+    """Diagnostics aggregated over one ``search_batch`` call.
+
+    ``pages_coalesced`` is the batch's working set -- the distinct pages
+    its candidates live on -- while ``pages_read_unshared`` is what the
+    same queries would have touched one at a time; their difference is
+    the I/O the cross-query coalescing saved.  ``pages_read`` is what
+    the batch actually charged, which can be lower still when a buffer
+    pool absorbs part of the working set (a caching effect, kept
+    separate so it is never reported as coalescing).
+    """
+
+    #: simulated pages actually charged (after any buffer pool).
+    pages_read: int = 0
+    #: sum of the per-query page counts had each run alone.
+    pages_read_unshared: int = 0
+    #: distinct pages touched by the whole batch (pool-oblivious).
+    pages_coalesced: int = 0
+    #: wall-clock seconds for the whole batch.
+    cpu_seconds: float = 0.0
+    #: number of queries in the batch.
+    n_queries: int = 0
+    #: total candidates refined across the batch.
+    n_candidates: int = 0
+
+    @property
+    def pages_saved(self) -> int:
+        """Page reads avoided by cross-query coalescing alone."""
+        return max(self.pages_read_unshared - self.pages_coalesced, 0)
+
+
+@dataclass
+class BatchSearchResult:
+    """Results of one batched search, one :class:`SearchResult` per query."""
+
+    results: List[SearchResult]
+    stats: BatchQueryStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> SearchResult:
+        return self.results[index]
+
+    @property
+    def ids(self) -> List[np.ndarray]:
+        """Per-query neighbour ids."""
+        return [result.ids for result in self.results]
+
+    @property
+    def divergences(self) -> List[np.ndarray]:
+        """Per-query neighbour divergences."""
+        return [result.divergences for result in self.results]

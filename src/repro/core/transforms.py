@@ -20,7 +20,13 @@ from ..exceptions import InvalidParameterError
 from ..geometry import bounds as bd
 from ..partitioning.scheme import Partitioning
 
-__all__ = ["SubspaceTransforms", "SearchBounds", "determine_search_bounds"]
+__all__ = [
+    "SubspaceTransforms",
+    "SearchBounds",
+    "SearchBoundsBatch",
+    "determine_search_bounds",
+    "determine_search_bounds_batch",
+]
 
 
 @dataclass
@@ -35,6 +41,20 @@ class SearchBounds:
     radii: np.ndarray
     total: float
     anchor_id: int
+
+
+@dataclass
+class SearchBoundsBatch:
+    """Per-query searching radii for a whole batch.
+
+    ``radii[b, i]`` is query ``b``'s range radius in subspace ``i``;
+    ``totals[b]`` and ``anchor_ids[b]`` are the batch analogues of
+    :attr:`SearchBounds.total` and :attr:`SearchBounds.anchor_id`.
+    """
+
+    radii: np.ndarray
+    totals: np.ndarray
+    anchor_ids: np.ndarray
 
 
 class SubspaceTransforms:
@@ -79,6 +99,38 @@ class SubspaceTransforms:
         ]
         return np.stack(columns, axis=1)
 
+    def query_triples_batch(self, queries: np.ndarray) -> bd.QueryTripleBatch:
+        """Vectorised Algorithm 3 for a query batch: ``(B, M)`` arrays."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        sub_matrices = self.partitioning.split_matrix(queries)
+        per_sub = [
+            bd.transform_queries(sub_div, sub_mat)
+            for sub_div, sub_mat in zip(self.sub_divergences, sub_matrices)
+        ]
+        return bd.QueryTripleBatch(
+            alpha=np.stack([t.alpha for t in per_sub], axis=1),
+            beta_yy=np.stack([t.beta_yy for t in per_sub], axis=1),
+            delta=np.stack([t.delta for t in per_sub], axis=1),
+        )
+
+    def upper_bound_tensor(self, triples: bd.QueryTripleBatch) -> np.ndarray:
+        """Theorem 1 bounds for every (query, point, subspace): ``(B, n, M)``.
+
+        One broadcasted pass replaces ``B`` calls to
+        :meth:`upper_bound_matrix`; the additions follow the same
+        left-to-right order as :func:`repro.geometry.bounds.batch_upper_bounds`
+        so batch and single-query bounds agree.
+        """
+        alpha_q = triples.alpha[:, None, :]
+        beta_q = triples.beta_yy[:, None, :]
+        delta_q = triples.delta[:, None, :]
+        return (
+            self.alpha[None, :, :]
+            + alpha_q
+            + beta_q
+            + np.sqrt(np.maximum(self.gamma[None, :, :] * delta_q, 0.0))
+        )
+
 
 def determine_search_bounds(ub_matrix: np.ndarray, k: int) -> SearchBounds:
     """Algorithm 4 (``QBDetermine``): pick the k-th smallest total bound.
@@ -98,4 +150,27 @@ def determine_search_bounds(ub_matrix: np.ndarray, k: int) -> SearchBounds:
         radii=ub_matrix[anchor].copy(),
         total=float(totals[anchor]),
         anchor_id=anchor,
+    )
+
+
+def determine_search_bounds_batch(ub_tensor: np.ndarray, k: int) -> SearchBoundsBatch:
+    """Algorithm 4 for a whole batch with a single partition pass.
+
+    ``ub_tensor`` has shape ``(B, n, M)``; the k-th smallest total bound
+    of every query is located by one ``np.argpartition`` call over the
+    ``(B, n)`` totals matrix.
+    """
+    if ub_tensor.ndim != 3:
+        raise InvalidParameterError("ub_tensor must have shape (B, n, M)")
+    b, n, _ = ub_tensor.shape
+    if not 1 <= k <= n:
+        raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
+    totals = ub_tensor.sum(axis=2)
+    smallest_k = np.argpartition(totals, k - 1, axis=1)[:, :k]
+    rows = np.arange(b)
+    anchors = smallest_k[rows, np.argmax(totals[rows[:, None], smallest_k], axis=1)]
+    return SearchBoundsBatch(
+        radii=ub_tensor[rows, anchors, :].copy(),
+        totals=totals[rows, anchors],
+        anchor_ids=anchors,
     )

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..baselines.linear_scan import brute_force_knn
 from ..core.results import SearchResult
+from ..exceptions import InvalidParameterError
 from ..datasets.loader import Dataset
 from .metrics import overall_ratio, recall_at_k
 
@@ -76,6 +77,25 @@ def build_index(factory: Callable[[], object], points: np.ndarray) -> object:
     return index
 
 
+def _iter_results(index, queries: np.ndarray, k: int, batch_size: int | None):
+    """Yield ``(result, batch_stats_or_None)`` per query, single or batched.
+
+    With a ``batch_size`` the queries are chunked through the index's
+    ``search_batch`` engine; the chunk's :class:`BatchQueryStats` rides
+    along with its first query so callers can aggregate coalesced I/O.
+    """
+    if batch_size is None:
+        for query in queries:
+            yield index.search(query, k), None
+        return
+    if batch_size < 1:
+        raise InvalidParameterError(f"batch_size must be >= 1, got {batch_size}")
+    for lo in range(0, len(queries), batch_size):
+        batch = index.search_batch(queries[lo : lo + batch_size], k)
+        for offset, result in enumerate(batch.results):
+            yield result, (batch.stats if offset == 0 else None)
+
+
 def run_workload(
     index,
     dataset: Dataset,
@@ -83,19 +103,33 @@ def run_workload(
     method_name: str | None = None,
     n_queries: int | None = None,
     with_accuracy: bool = True,
+    batch_size: int | None = None,
 ) -> WorkloadResult:
     """Run the dataset's query workload and aggregate metrics.
 
     Ground truth for accuracy comes from an in-memory brute-force oracle
     (no I/O charged), so exact methods should report OR = recall = 1.
+
+    With ``batch_size`` set, queries are driven through the index's
+    ``search_batch`` engine in chunks of that size; ``mean_io`` then
+    reflects the coalesced pages actually charged per query, and the
+    result's ``extras`` record the batch totals.
     """
     queries = dataset.queries
     if n_queries is not None:
         queries = queries[:n_queries]
 
     ios, seconds, candidates, ratios, recalls = [], [], [], [], []
-    for query in queries:
-        result: SearchResult = index.search(query, k)
+    batched_pages = 0
+    batched_pages_unshared = 0
+    batched_pages_coalesced = 0
+    for query, (result, batch_stats) in zip(
+        queries, _iter_results(index, queries, k, batch_size)
+    ):
+        if batch_stats is not None:
+            batched_pages += batch_stats.pages_read
+            batched_pages_unshared += batch_stats.pages_read_unshared
+            batched_pages_coalesced += batch_stats.pages_coalesced
         ios.append(result.stats.pages_read)
         seconds.append(result.stats.cpu_seconds)
         candidates.append(result.stats.n_candidates)
@@ -112,6 +146,20 @@ def run_workload(
             ratios.append(overall_ratio(got, exact_dists))
             recalls.append(recall_at_k(result.ids, exact_ids))
 
+    extras: dict = {}
+    if batch_size is not None and queries.shape[0]:
+        # In batch mode the honest I/O figure is what the batches
+        # actually charged, spread over the queries they served.
+        ios = [batched_pages / len(queries)] * len(queries)
+        extras = {
+            "batch_size": batch_size,
+            "batch_pages_read": batched_pages,
+            "batch_pages_unshared": batched_pages_unshared,
+            "batch_pages_saved": max(
+                batched_pages_unshared - batched_pages_coalesced, 0
+            ),
+        }
+
     return WorkloadResult(
         method=method_name if method_name is not None else type(index).__name__,
         dataset=dataset.name,
@@ -123,4 +171,5 @@ def run_workload(
         mean_recall=float(np.mean(recalls)) if recalls else 1.0,
         construction_seconds=float(getattr(index, "construction_seconds", 0.0)),
         n_queries=len(queries),
+        extras=extras,
     )

@@ -36,9 +36,11 @@ from ..divergences.base import DecomposableBregmanDivergence
 __all__ = [
     "PointTuple",
     "QueryTriple",
+    "QueryTripleBatch",
     "transform_point",
     "transform_points",
     "transform_query",
+    "transform_queries",
     "compute_upper_bound",
     "batch_upper_bounds",
     "cross_term",
@@ -60,6 +62,30 @@ class QueryTriple:
     alpha: float
     beta_yy: float
     delta: float
+
+
+@dataclass(frozen=True)
+class QueryTripleBatch:
+    """Column-stacked query triples for a batch: arrays of shape ``(B,)``.
+
+    The batch analogue of :class:`QueryTriple`; row ``b`` holds query
+    ``b``'s ``(alpha_y, beta_yy, delta_y)``.
+    """
+
+    alpha: np.ndarray
+    beta_yy: np.ndarray
+    delta: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.alpha.shape[0])
+
+    def row(self, b: int) -> QueryTriple:
+        """The scalar triple of query ``b`` (for per-query hooks)."""
+        return QueryTriple(
+            alpha=float(self.alpha[b]),
+            beta_yy=float(self.beta_yy[b]),
+            delta=float(self.delta[b]),
+        )
 
 
 def transform_point(
@@ -89,13 +115,26 @@ def transform_points(
 def transform_query(
     divergence: DecomposableBregmanDivergence, y: np.ndarray
 ) -> QueryTriple:
-    """Algorithm 3 (single subvector): ``y -> (alpha_y, beta_yy, delta_y)``."""
+    """Algorithm 3 (single subvector): ``y -> (alpha_y, beta_yy, delta_y)``.
+
+    Implemented as the one-row case of :func:`transform_queries` so the
+    single-query and batched paths produce bitwise-identical triples.
+    """
     y = np.asarray(y, dtype=float)
-    grad = divergence.phi_prime(y)
-    return QueryTriple(
-        alpha=-float(np.sum(divergence.phi(y))),
-        beta_yy=float(np.dot(y, grad)),
-        delta=float(np.dot(grad, grad)),
+    batch = transform_queries(divergence, y[None, :])
+    return batch.row(0)
+
+
+def transform_queries(
+    divergence: DecomposableBregmanDivergence, queries: np.ndarray
+) -> QueryTripleBatch:
+    """Vectorised Algorithm 3 over the rows of ``queries``."""
+    queries = np.atleast_2d(np.asarray(queries, dtype=float))
+    grads = divergence.phi_prime(queries)
+    return QueryTripleBatch(
+        alpha=-np.sum(divergence.phi(queries), axis=1),
+        beta_yy=np.einsum("ij,ij->i", queries, grads),
+        delta=np.einsum("ij,ij->i", grads, grads),
     )
 
 

@@ -27,7 +27,13 @@ import numpy as np
 
 from ..divergences.base import DecomposableBregmanDivergence
 
-__all__ = ["min_divergence_to_ball", "ball_intersects_range", "project_to_ball"]
+__all__ = [
+    "min_divergence_to_ball",
+    "ball_intersects_range",
+    "batch_ball_intersects_range",
+    "BatchRangeProber",
+    "project_to_ball",
+]
 
 
 def min_divergence_to_ball(
@@ -127,6 +133,182 @@ def ball_intersects_range(
         if hi - lo <= 1e-12:
             break
     return True  # undecided within budget: keep the node (sound)
+
+
+class BatchRangeProber:
+    """Batched ball-vs-range tests with the query-side terms hoisted out.
+
+    One prober serves a whole traversal: the per-query constants that the
+    scalar :func:`ball_intersects_range` re-derives at every node
+    (``grad f(q)``, ``f(q)``, ``<q, grad f(q)>``) are computed once here,
+    so each node visit costs a handful of fused array expressions over
+    the queries still active on that subtree.  The decision logic is the
+    scalar test's, run in lockstep for every active query: any
+    dual-geodesic witness inside both sets is a certain YES, any
+    certified lower bound beyond the range a certain NO, and queries drop
+    out of the bisection as soon as they resolve (undecided stays YES, so
+    pruning remains sound).
+
+    The fused arithmetic can round differently from the scalar test by
+    ~1 ulp, so a borderline node may be kept/dropped differently; both
+    answers are sound (certified), so candidate sets may differ at the
+    margin but final kNN results never do.
+    """
+
+    def __init__(
+        self,
+        divergence: DecomposableBregmanDivergence,
+        queries: np.ndarray,
+        range_radii: np.ndarray,
+        max_iter: int = 48,
+    ) -> None:
+        self.divergence = divergence
+        self.queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        self.range_radii = np.asarray(range_radii, dtype=float)
+        self.max_iter = int(max_iter)
+        self.grad_q = np.asarray(divergence.phi_prime(self.queries), dtype=float)
+        self.f_q = np.sum(divergence.phi(self.queries), axis=1)
+        self.q_dot_grad_q = np.einsum("ij,ij->i", self.queries, self.grad_q)
+
+    def intersects(
+        self, center: np.ndarray, ball_radius: float, active: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Which of the ``active`` queries' ranges may the ball intersect?
+
+        Returns a boolean mask aligned with ``active`` (default: all
+        queries); ``True`` means the node must be kept for that query.
+        """
+        if active is None:
+            active = np.arange(self.queries.shape[0])
+        center = np.atleast_2d(np.asarray(center, dtype=float))
+        return self.intersects_pairs(
+            center,
+            np.array([float(ball_radius)]),
+            np.zeros(active.size, dtype=int),
+            np.asarray(active, dtype=int),
+        )
+
+    def intersects_pairs(
+        self,
+        centers: np.ndarray,
+        ball_radii: np.ndarray,
+        node_idx: np.ndarray,
+        query_idx: np.ndarray,
+    ) -> np.ndarray:
+        """Decide many (ball, query) pairs in one fused bisection.
+
+        ``centers``/``ball_radii`` describe ``K`` balls; pair ``p`` tests
+        ball ``node_idx[p]`` against query ``query_idx[p]``'s range.  A
+        whole tree level's tests collapse into one call, so the Python
+        overhead of the traversal is per *level*, not per (node, query).
+
+        Returns a boolean array over the pairs (``True`` = may intersect).
+        """
+        div = self.divergence
+        centers = np.atleast_2d(np.asarray(centers, dtype=float))
+        ball_radii = np.maximum(np.asarray(ball_radii, dtype=float), 0.0)
+        n_pairs = node_idx.size
+
+        out = np.zeros(n_pairs, dtype=bool)
+        radii = self.range_radii[query_idx]
+        considered = radii >= 0.0  # negative range: certain NO
+        if not considered.any():
+            return out
+
+        # Node-side constants (once per ball, not per pair).
+        f_c = np.sum(div.phi(centers), axis=1)
+        grad_c = np.asarray(div.phi_prime(centers), dtype=float)
+        c_dot_grad_c = np.einsum("ij,ij->i", centers, grad_c)
+
+        # Pair-aligned gathers of both sides.
+        pair_q = self.queries[query_idx]
+        pair_grad_q = self.grad_q[query_idx]
+        pair_f_q = self.f_q[query_idx]
+        pair_qgq = self.q_dot_grad_q[query_idx]
+        pair_grad_c = grad_c[node_idx]
+        pair_f_c = f_c[node_idx]
+        pair_cgc = c_dot_grad_c[node_idx]
+        pair_ball_r = ball_radii[node_idx]
+
+        # Certain YES without bisection (the scalar fast paths):
+        # query inside the ball, or ball center inside the range.
+        d_query_center = np.maximum(
+            pair_f_q - pair_f_c - np.einsum("ij,ij->i", pair_q, pair_grad_c) + pair_cgc,
+            0.0,
+        )
+        d_center_query = np.maximum(
+            pair_f_c
+            - pair_f_q
+            - np.einsum("ij,ij->i", pair_grad_q, centers[node_idx])
+            + pair_qgq,
+            0.0,
+        )
+        yes = considered & ((d_query_center <= pair_ball_r) | (d_center_query <= radii))
+        out[yes] = True
+        pending = np.flatnonzero(considered & ~yes)
+        if pending.size == 0:
+            return out
+
+        lo = np.zeros(n_pairs)
+        hi = np.ones(n_pairs)
+        for _ in range(self.max_iter):
+            theta = 0.5 * (lo[pending] + hi[pending])
+            x_theta = div.gradient_inverse(
+                theta[:, None] * pair_grad_c[pending]
+                + (1.0 - theta)[:, None] * pair_grad_q[pending]
+            )
+            sum_phi_x = np.sum(div.phi(x_theta), axis=1)
+            d_center = np.maximum(
+                sum_phi_x
+                - pair_f_c[pending]
+                - np.einsum("ij,ij->i", x_theta, pair_grad_c[pending])
+                + pair_cgc[pending],
+                0.0,
+            )
+            d_query = np.maximum(
+                sum_phi_x
+                - pair_f_q[pending]
+                - np.einsum("ij,ij->i", x_theta, pair_grad_q[pending])
+                + pair_qgq[pending],
+                0.0,
+            )
+            inside_ball = d_center <= pair_ball_r[pending]
+            in_range = d_query <= radii[pending]
+
+            witness = inside_ball & in_range  # point in both sets: certain YES
+            out[pending[witness]] = True
+            disjoint = ~inside_ball & ~in_range  # certified bound: certain NO
+
+            hi[pending[inside_ball]] = theta[inside_ball]
+            lo[pending[~inside_ball]] = theta[~inside_ball]
+            converged = (hi[pending] - lo[pending]) <= 1e-12
+
+            undecided = ~(witness | disjoint | converged)
+            out[pending[converged & ~witness & ~disjoint]] = True  # sound default
+            pending = pending[undecided]
+            if pending.size == 0:
+                return out
+        out[pending] = True  # iteration budget exhausted: keep the node (sound)
+        return out
+
+
+def batch_ball_intersects_range(
+    divergence: DecomposableBregmanDivergence,
+    center: np.ndarray,
+    ball_radius: float,
+    queries: np.ndarray,
+    range_radii: np.ndarray,
+    max_iter: int = 48,
+) -> np.ndarray:
+    """Vectorised :func:`ball_intersects_range` over a batch of queries.
+
+    One-shot convenience wrapper around :class:`BatchRangeProber`; for
+    repeated tests against many nodes (a tree traversal), build one
+    prober and reuse it so the query-side constants are paid once.
+    """
+    return BatchRangeProber(divergence, queries, range_radii, max_iter).intersects(
+        center, ball_radius
+    )
 
 
 def project_to_ball(

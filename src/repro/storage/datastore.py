@@ -120,7 +120,10 @@ class DataStore:
 
     def pages_of(self, point_ids: Iterable[int]) -> np.ndarray:
         """Distinct pages holding the given points (sorted)."""
-        ids = np.asarray(list(point_ids), dtype=int)
+        if isinstance(point_ids, (np.ndarray, list, tuple)):
+            ids = np.asarray(point_ids, dtype=int)
+        else:
+            ids = np.fromiter(point_ids, dtype=int)
         if ids.size == 0:
             return np.empty(0, dtype=int)
         return np.unique(self._pages[ids])
@@ -139,6 +142,25 @@ class DataStore:
             self._charge(int(page))
         return self._storage[self._position[ids]]
 
+    def count_pages_of(self, point_ids: Sequence[int]) -> int:
+        """Number of distinct pages holding the given points."""
+        return int(self.pages_of(point_ids).size)
+
+    def charge_pages_for(self, id_groups: Sequence[Sequence[int]]) -> int:
+        """Charge the distinct pages covering all groups exactly once.
+
+        The coalescing primitive of the batch engine: a query batch
+        charges the union of its candidates' pages here, then reads the
+        vectors I/O-free via :meth:`peek`.  Returns the page count.
+        """
+        touched = np.zeros(self.n_pages, dtype=bool)
+        for ids in id_groups:
+            touched[self._pages[np.asarray(ids, dtype=int)]] = True
+        pages = np.flatnonzero(touched)
+        for page in pages:
+            self._charge(int(page))
+        return int(pages.size)
+
     def scan(self) -> np.ndarray:
         """Sequentially read the whole file (used by linear scan).
 
@@ -149,7 +171,12 @@ class DataStore:
         return self._storage[self._position]
 
     def peek(self, point_ids: Sequence[int]) -> np.ndarray:
-        """Read points *without* charging I/O (index construction only)."""
+        """Read points *without* charging I/O.
+
+        For callers that have already paid for the pages (the batch
+        refinement after :meth:`charge_pages_for`) or that model free
+        access (index construction).
+        """
         ids = np.asarray(point_ids, dtype=int)
         return self._storage[self._position[ids]]
 

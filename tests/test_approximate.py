@@ -15,7 +15,7 @@ from repro.core.approximate import BetaXYModel
 from repro.divergences import ExponentialDistance, ItakuraSaito, SquaredEuclidean
 from repro.exceptions import InvalidParameterError, NotFittedError
 
-from .conftest import points_for
+from conftest import points_for
 
 
 def _normal_points(n=300, d=16, seed=61):

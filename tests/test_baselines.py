@@ -9,7 +9,7 @@ from repro import BBTreeIndex, LinearScanIndex, VarBBTreeIndex, brute_force_knn
 from repro.divergences import ItakuraSaito, SquaredEuclidean
 from repro.exceptions import InvalidParameterError, NotFittedError
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestLinearScan:

@@ -1,0 +1,341 @@
+"""Batch engine tests: single/batch parity, coalesced I/O, batch plumbing.
+
+The contract under test (ISSUE 1's tentpole): ``search_batch`` must
+return *exactly* what per-query ``search`` returns -- same neighbour ids,
+same divergence values -- for every registered decomposable divergence,
+while charging less simulated I/O than the queries would pay one at a
+time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximateBrePartitionIndex,
+    BatchSearchResult,
+    BrePartitionConfig,
+    BrePartitionIndex,
+    LinearScanIndex,
+    SquaredEuclidean,
+)
+from repro.bbtree import BBTree
+from repro.core.transforms import (
+    determine_search_bounds,
+    determine_search_bounds_batch,
+)
+from repro.exceptions import (
+    DomainError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.geometry import ball_intersects_range, batch_ball_intersects_range
+from repro.storage import DataStore, DiskAccessTracker
+
+from conftest import all_decomposable_divergences, points_for
+
+N_POINTS = 220
+N_QUERIES = 12
+DIM = 12
+K = 5
+
+
+def build_index(divergence, points, **config_kwargs):
+    config = BrePartitionConfig(n_partitions=3, seed=0, **config_kwargs)
+    return BrePartitionIndex(divergence, config).build(points)
+
+
+class TestSearchBatchParity:
+    @pytest.mark.parametrize(
+        "name,divergence", all_decomposable_divergences(DIM)
+    )
+    def test_matches_per_query_search(self, name, divergence):
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = build_index(divergence, points)
+
+        batch = index.search_batch(queries, K)
+        assert isinstance(batch, BatchSearchResult)
+        assert len(batch) == N_QUERIES
+        for query, batched in zip(queries, batch):
+            single = index.search(query, K)
+            np.testing.assert_array_equal(single.ids, batched.ids)
+            np.testing.assert_array_equal(single.divergences, batched.divergences)
+
+    def test_single_query_batch(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        query = points_for(divergence, 1, DIM, seed=2)
+        index = build_index(divergence, points)
+        batch = index.search_batch(query, K)
+        single = index.search(query[0], K)
+        assert len(batch) == 1
+        np.testing.assert_array_equal(batch[0].ids, single.ids)
+        np.testing.assert_array_equal(batch[0].divergences, single.divergences)
+
+    def test_results_sorted_ascending(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = build_index(divergence, points)
+        for result in index.search_batch(queries, K):
+            assert np.all(np.diff(result.divergences) >= 0.0)
+
+    def test_point_filter_config(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = build_index(divergence, points, point_filter=True)
+        batch = index.search_batch(queries, K)
+        for query, batched in zip(queries, batch):
+            single = index.search(query, K)
+            np.testing.assert_array_equal(single.ids, batched.ids)
+            np.testing.assert_array_equal(single.divergences, batched.divergences)
+
+    def test_approximate_index_batch(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = ApproximateBrePartitionIndex(
+            divergence,
+            probability=0.9,
+            config=BrePartitionConfig(n_partitions=3, seed=0, point_filter=True),
+        ).build(points)
+        batch = index.search_batch(queries, K)
+        for query, batched in zip(queries, batch):
+            single = index.search(query, K)
+            np.testing.assert_array_equal(single.ids, batched.ids)
+            np.testing.assert_array_equal(single.divergences, batched.divergences)
+
+    def test_linear_scan_batch_parity(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = LinearScanIndex(divergence).build(points)
+        batch = index.search_batch(queries, K)
+        for query, batched in zip(queries, batch):
+            single = index.search(query, K)
+            np.testing.assert_array_equal(single.ids, batched.ids)
+            np.testing.assert_array_equal(single.divergences, batched.divergences)
+
+
+class TestBatchIO:
+    def test_batch_coalesces_pages(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        tracker = DiskAccessTracker()
+        index = BrePartitionIndex(
+            divergence, BrePartitionConfig(n_partitions=3, seed=0), tracker=tracker
+        ).build(points)
+        batch = index.search_batch(queries, K)
+        stats = batch.stats
+        # The coalesced working set can never exceed what the queries
+        # would touch individually, nor the number of pages that exist,
+        # and with no buffer pool the actual charge equals it.
+        assert stats.pages_coalesced <= stats.pages_read_unshared
+        assert stats.pages_coalesced <= index.datastore.n_pages
+        assert stats.pages_read == stats.pages_coalesced
+        assert stats.pages_saved == stats.pages_read_unshared - stats.pages_coalesced
+        assert stats.n_queries == N_QUERIES
+
+    def test_per_query_stats_report_solo_pages(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = build_index(divergence, points)
+        batch = index.search_batch(queries, K)
+        for result in batch:
+            assert result.stats.pages_read >= 1
+            assert result.stats.n_candidates >= K
+        assert batch.stats.pages_read_unshared == sum(
+            r.stats.pages_read for r in batch
+        )
+
+    def test_buffer_pool_hits_not_reported_as_coalescing(self):
+        from repro.storage import BufferPool
+
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, 1, DIM, seed=2)  # B=1: zero coalescing
+        pool = BufferPool(capacity_pages=10_000)
+        index = BrePartitionIndex(
+            divergence,
+            BrePartitionConfig(n_partitions=3, seed=0),
+            buffer_pool=pool,
+        ).build(points)
+        index.search_batch(queries, K)  # warm the pool
+        stats = index.search_batch(queries, K).stats
+        # The pool absorbs the charge, but a single-query batch shares
+        # nothing across queries, so no savings may be claimed.
+        assert stats.pages_read < stats.pages_coalesced
+        assert stats.pages_saved == 0
+
+    def test_linear_scan_batch_charges_one_scan(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = LinearScanIndex(divergence).build(points)
+        batch = index.search_batch(queries, K)
+        assert batch.stats.pages_read == index.datastore.n_pages
+        assert batch.stats.pages_coalesced == index.datastore.n_pages
+        assert (
+            batch.stats.pages_read_unshared
+            == index.datastore.n_pages * N_QUERIES
+        )
+
+
+class TestBatchValidation:
+    def setup_method(self):
+        self.divergence = SquaredEuclidean()
+        self.points = points_for(self.divergence, N_POINTS, DIM, seed=1)
+        self.queries = points_for(self.divergence, N_QUERIES, DIM, seed=2)
+        self.index = build_index(self.divergence, self.points)
+
+    def test_rejects_unbuilt(self):
+        fresh = BrePartitionIndex(self.divergence)
+        with pytest.raises(NotFittedError, match="build"):
+            fresh.search_batch(self.queries, K)
+
+    @pytest.mark.parametrize("bad_k", [0, -3, N_POINTS + 1])
+    def test_rejects_bad_k(self, bad_k):
+        with pytest.raises(InvalidParameterError, match="k must be in"):
+            self.index.search_batch(self.queries, bad_k)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(InvalidParameterError, match="shape"):
+            self.index.search_batch(self.queries[:, : DIM - 2], K)
+
+    def test_rejects_domain_violation(self):
+        from repro import ItakuraSaito
+
+        points = points_for(ItakuraSaito(), N_POINTS, DIM, seed=1)
+        index = build_index(ItakuraSaito(), points)
+        bad = np.abs(points_for(ItakuraSaito(), 2, DIM, seed=2))
+        bad[1, 0] = -1.0
+        with pytest.raises(DomainError, match="domain"):
+            index.search_batch(bad, K)
+
+    def test_empty_batch(self):
+        batch = self.index.search_batch(np.empty((0, DIM)), K)
+        assert len(batch) == 0
+        assert batch.stats.n_queries == 0
+        assert batch.stats.pages_read == 0
+
+    def test_linear_scan_rejects_bad_k(self):
+        index = LinearScanIndex(self.divergence).build(self.points)
+        with pytest.raises(InvalidParameterError, match="k must be in"):
+            index.search_batch(self.queries, 0)
+
+    def test_linear_scan_rejects_wrong_dims(self):
+        index = LinearScanIndex(self.divergence).build(self.points)
+        with pytest.raises(InvalidParameterError, match="shape"):
+            index.search_batch(self.queries[:, :3], K)
+
+
+class TestBatchPrimitives:
+    """The layers under search_batch agree with their scalar versions."""
+
+    @pytest.mark.parametrize(
+        "name,divergence", all_decomposable_divergences(DIM)
+    )
+    def test_batch_intersection_matches_scalar(self, name, divergence):
+        points = points_for(divergence, 60, DIM, seed=3)
+        queries = points_for(divergence, 10, DIM, seed=4)
+        center = divergence.centroid(points)
+        ball_radius = float(
+            np.max(divergence.batch_divergence(points, center))
+        )
+        radii = np.linspace(0.0, 2.0 * ball_radius, queries.shape[0])
+        batched = batch_ball_intersects_range(
+            divergence, center, ball_radius, queries, radii
+        )
+        for query, radius, got in zip(queries, radii, batched):
+            expected = ball_intersects_range(
+                divergence, center, ball_radius, query, radius
+            )
+            assert got == expected
+
+    def test_negative_radius_rejects_all(self):
+        divergence = SquaredEuclidean()
+        queries = points_for(divergence, 4, DIM, seed=5)
+        decisions = batch_ball_intersects_range(
+            divergence,
+            np.zeros(DIM),
+            1.0,
+            queries,
+            np.full(4, -1.0),
+        )
+        assert not decisions.any()
+
+    def test_bounds_batch_matches_single(self):
+        rng = np.random.default_rng(6)
+        ub_tensor = rng.uniform(0.1, 5.0, size=(7, 50, 4))
+        batch = determine_search_bounds_batch(ub_tensor, k=8)
+        for b in range(7):
+            single = determine_search_bounds(ub_tensor[b], k=8)
+            assert batch.anchor_ids[b] == single.anchor_id
+            assert batch.totals[b] == single.total
+            np.testing.assert_array_equal(batch.radii[b], single.radii)
+
+    def test_bounds_batch_validation(self):
+        with pytest.raises(InvalidParameterError, match="k must be in"):
+            determine_search_bounds_batch(np.ones((2, 5, 3)), k=6)
+        with pytest.raises(InvalidParameterError, match="shape"):
+            determine_search_bounds_batch(np.ones((5, 3)), k=2)
+
+    def test_tree_range_query_batch_matches_scalar(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 150, DIM, seed=7)
+        queries = points_for(divergence, 6, DIM, seed=8)
+        tree = BBTree(divergence, leaf_capacity=16, rng=np.random.default_rng(0)).build(
+            points
+        )
+        radii = np.linspace(0.5, 8.0, 6)
+        batch = tree.range_query_batch(queries, radii, point_filter=True)
+        for q in range(6):
+            single = tree.range_query(queries[q], radii[q], point_filter=True)
+            np.testing.assert_array_equal(
+                np.sort(single.point_ids), np.sort(batch.point_ids[q])
+            )
+
+    def test_tree_batch_radii_shape_checked(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 60, DIM, seed=7)
+        tree = BBTree(divergence, leaf_capacity=16).build(points)
+        queries = points_for(divergence, 4, DIM, seed=8)
+        with pytest.raises(InvalidParameterError, match="one radius per query"):
+            tree.range_query_batch(queries, np.ones(3))
+
+
+class TestDataStoreBatchFetch:
+    def test_charge_then_peek_returns_group_vectors(self):
+        rng = np.random.default_rng(9)
+        points = rng.normal(size=(40, 6))
+        store = DataStore(points, page_size_bytes=4 * 6 * 8)
+        groups = [np.array([3, 1, 7]), np.array([], dtype=int), np.array([0, 39])]
+        store.charge_pages_for(groups)
+        fetched = [store.peek(ids) for ids in groups]
+        np.testing.assert_allclose(fetched[0], points[[3, 1, 7]])
+        assert fetched[1].shape == (0, 6)
+        np.testing.assert_allclose(fetched[2], points[[0, 39]])
+
+    def test_charge_pages_for_charges_union_once(self):
+        rng = np.random.default_rng(9)
+        points = rng.normal(size=(40, 6))
+        tracker = DiskAccessTracker()
+        store = DataStore(points, page_size_bytes=4 * 6 * 8, tracker=tracker)
+        ids = np.arange(8)  # both groups share the same two pages
+        tracker.start_query()
+        charged = store.charge_pages_for([ids, ids.copy()])
+        snapshot = tracker.end_query()
+        assert charged == store.count_pages_of(ids)
+        assert snapshot.pages_read == store.count_pages_of(ids)
+
+    def test_count_pages_of(self):
+        points = np.zeros((10, 4))
+        store = DataStore(points, page_size_bytes=2 * 4 * 8)  # 2 points per page
+        assert store.count_pages_of([]) == 0
+        assert store.count_pages_of([0, 1]) == 1
+        assert store.count_pages_of(np.arange(10)) == store.n_pages

@@ -12,7 +12,7 @@ from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.partitioning import ContiguousPartitioner
 from repro.storage import DataStore, DiskAccessTracker
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestConstruction:

@@ -45,6 +45,75 @@ class TestSearch:
         assert "io_pages" in out
         assert method.upper() in out
 
+    @pytest.mark.parametrize("method", ["bp", "scan"])
+    def test_search_batch_mode(self, capsys, method):
+        code = main(
+            [
+                "search",
+                "uniform",
+                "--method",
+                method,
+                "--n",
+                "300",
+                "--k",
+                "5",
+                "--queries",
+                "6",
+                "--partitions",
+                "2",
+                "--batch",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "io_pages" in out
+        assert "batch mode: B=3" in out
+
+    def test_search_batch_rejects_non_positive(self, capsys):
+        code = main(
+            [
+                "search",
+                "uniform",
+                "--method",
+                "bp",
+                "--n",
+                "300",
+                "--k",
+                "5",
+                "--queries",
+                "3",
+                "--partitions",
+                "2",
+                "--batch",
+                "0",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--batch must be >= 1" in err
+
+    def test_search_batch_unsupported_method_falls_back(self, capsys):
+        code = main(
+            [
+                "search",
+                "uniform",
+                "--method",
+                "vaf",
+                "--n",
+                "300",
+                "--k",
+                "5",
+                "--queries",
+                "3",
+                "--batch",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no batch engine" in out
+
     def test_search_abp(self, capsys):
         code = main(
             [

@@ -9,7 +9,7 @@ from repro.clustering import bregman_kmeans, plusplus_seeds
 from repro.divergences import ItakuraSaito, SquaredEuclidean
 from repro.exceptions import InvalidParameterError
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestBregmanKMeans:

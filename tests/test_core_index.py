@@ -25,7 +25,7 @@ from repro.exceptions import (
 )
 from repro.partitioning import ContiguousPartitioner
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestExactness:

@@ -24,7 +24,7 @@ from repro.exceptions import (
     NotDecomposableError,
 )
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestBasicProperties:

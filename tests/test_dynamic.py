@@ -10,7 +10,7 @@ from repro.bbtree import BBTree
 from repro.divergences import ItakuraSaito, SquaredEuclidean
 from repro.exceptions import InvalidParameterError, StorageError
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 def _build(div, n=80, d=6, seed=111, leaf_capacity=8):

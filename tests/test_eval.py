@@ -86,6 +86,34 @@ class TestHarness:
         result = run_workload(index, ds, k=2, n_queries=3)
         assert result.n_queries == 3
 
+    def test_batch_mode_keeps_exactness(self):
+        ds = load_dataset("normal", n=150, d=16, n_queries=6, seed=0)
+        index = BrePartitionIndex(
+            ds.divergence,
+            BrePartitionConfig(n_partitions=2, seed=0, page_size_bytes=2048),
+        ).build(ds.points)
+        result = run_workload(index, ds, k=5, batch_size=4)
+        assert result.mean_overall_ratio == pytest.approx(1.0, abs=1e-6)
+        assert result.mean_recall == pytest.approx(1.0)
+        assert result.extras["batch_size"] == 4
+        assert result.extras["batch_pages_read"] <= result.extras["batch_pages_unshared"]
+
+    def test_batch_mode_reduces_scan_io(self):
+        ds = load_dataset("uniform", n=120, d=12, n_queries=4, seed=0)
+        index = LinearScanIndex(ds.divergence, page_size_bytes=2048).build(ds.points)
+        single = run_workload(index, ds, k=3)
+        batched = run_workload(index, ds, k=3, batch_size=4)
+        # One scan serves the whole batch: mean I/O drops by the batch size.
+        assert batched.mean_io == pytest.approx(single.mean_io / 4)
+        assert batched.extras["batch_pages_saved"] == 3 * index.datastore.n_pages
+
+    def test_batch_size_larger_than_workload(self):
+        ds = load_dataset("normal", n=100, d=8, n_queries=3, seed=0)
+        index = LinearScanIndex(ds.divergence, page_size_bytes=2048).build(ds.points)
+        result = run_workload(index, ds, k=2, batch_size=64)
+        assert result.n_queries == 3
+        assert result.mean_overall_ratio == pytest.approx(1.0, abs=1e-9)
+
 
 class TestReporting:
     def test_format_table_alignment(self):

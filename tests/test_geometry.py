@@ -18,7 +18,7 @@ from repro.geometry import (
     transform_query,
 )
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestCauchyBound:

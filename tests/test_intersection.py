@@ -12,7 +12,7 @@ from repro.geometry import (
     min_divergence_to_ball,
 )
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestBallIntersectsRange:

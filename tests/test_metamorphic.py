@@ -1,0 +1,134 @@
+"""Metamorphic divergence properties and input-validation contracts.
+
+ISSUE 1 satellite: for every registered decomposable divergence assert
+the axioms the whole pipeline rests on -- non-negativity, identity of
+indiscernibles, and *decomposability* (the sum of per-subspace
+divergences over any partitioning equals the full-space divergence,
+paper Section 3.1) -- plus the batch helpers introduced with the batch
+engine, and `pytest.raises(match=...)` coverage of the error surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BrePartitionConfig, BrePartitionIndex, LinearScanIndex
+from repro.divergences import ItakuraSaito, SquaredEuclidean
+from repro.exceptions import DomainError, InvalidParameterError
+from repro.geometry import transform_queries, transform_query
+from repro.partitioning import Partitioning
+
+from conftest import all_decomposable_divergences, points_for
+
+DIM = 10
+
+
+def random_partitioning(rng: np.random.Generator, d: int, m: int) -> Partitioning:
+    dims = rng.permutation(d)
+    subspaces = [chunk.tolist() for chunk in np.array_split(dims, m)]
+    return Partitioning.from_lists(subspaces, d)
+
+
+@pytest.mark.parametrize("name,div", all_decomposable_divergences(DIM))
+class TestDivergenceAxioms:
+    def test_non_negative_on_random_pairs(self, name, div):
+        xs = points_for(div, 30, DIM, seed=10)
+        ys = points_for(div, 30, DIM, seed=11)
+        for x, y in zip(xs, ys):
+            assert div.divergence(x, y) >= 0.0
+
+    def test_self_divergence_is_zero(self, name, div):
+        xs = points_for(div, 20, DIM, seed=12)
+        for x in xs:
+            assert div.divergence(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, DIM])
+    def test_decomposability_over_random_partitionings(self, name, div, m):
+        rng = np.random.default_rng(13)
+        partitioning = random_partitioning(rng, DIM, m)
+        xs = points_for(div, 10, DIM, seed=14)
+        ys = points_for(div, 10, DIM, seed=15)
+        for x, y in zip(xs, ys):
+            total = div.divergence(x, y)
+            parts = sum(
+                div.restrict(dims).divergence(x[dims], y[dims])
+                for dims in partitioning.subspaces
+            )
+            assert parts == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    def test_batch_divergence_matches_scalar(self, name, div):
+        xs = points_for(div, 15, DIM, seed=16)
+        y = points_for(div, 1, DIM, seed=17)[0]
+        batch = div.batch_divergence(xs, y)
+        expected = [div.divergence(x, y) for x in xs]
+        np.testing.assert_allclose(batch, expected, rtol=1e-9, atol=1e-9)
+
+    def test_transform_queries_matches_transform_query(self, name, div):
+        queries = points_for(div, 12, DIM, seed=20)
+        batch = transform_queries(div, queries)
+        assert len(batch) == 12
+        for b, query in enumerate(queries):
+            single = transform_query(div, query)
+            assert batch.alpha[b] == pytest.approx(single.alpha, rel=1e-12)
+            assert batch.beta_yy[b] == pytest.approx(single.beta_yy, rel=1e-12)
+            assert batch.delta[b] == pytest.approx(single.delta, rel=1e-12)
+            row = batch.row(b)
+            assert row.alpha == batch.alpha[b]
+            assert row.beta_yy == batch.beta_yy[b]
+            assert row.delta == batch.delta[b]
+
+
+class TestValidationContracts:
+    """`pytest.raises(match=...)` coverage of the error surface."""
+
+    def setup_method(self):
+        self.points = points_for(SquaredEuclidean(), 80, DIM, seed=21)
+        self.index = BrePartitionIndex(
+            SquaredEuclidean(), BrePartitionConfig(n_partitions=2, seed=0)
+        ).build(self.points)
+
+    @pytest.mark.parametrize("bad_k", [0, -1, 81, 1000])
+    def test_search_rejects_bad_k(self, bad_k):
+        with pytest.raises(InvalidParameterError, match=r"k must be in \[1, 80\]"):
+            self.index.search(self.points[0], bad_k)
+
+    def test_search_batch_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError, match=r"k must be in \[1, 80\]"):
+            self.index.search_batch(self.points[:3], 0)
+
+    def test_build_rejects_single_point(self):
+        with pytest.raises(InvalidParameterError, match="at least two points"):
+            BrePartitionIndex(SquaredEuclidean()).build(self.points[:1])
+
+    def test_partitioning_rejects_wrong_dims(self):
+        with pytest.raises(InvalidParameterError, match="dims"):
+            self.index.partitioning.split(np.zeros(DIM + 1))
+
+    def test_domain_violation_on_dataset(self):
+        bad = points_for(ItakuraSaito(), 50, DIM, seed=22)
+        bad[7, 3] = 0.0  # Itakura-Saito needs strictly positive coordinates
+        with pytest.raises(DomainError, match="dataset outside domain"):
+            BrePartitionIndex(ItakuraSaito()).build(bad)
+
+    def test_domain_violation_on_query(self):
+        points = points_for(ItakuraSaito(), 50, DIM, seed=23)
+        index = BrePartitionIndex(
+            ItakuraSaito(), BrePartitionConfig(n_partitions=2, seed=0)
+        ).build(points)
+        with pytest.raises(DomainError, match="query outside domain"):
+            index.search(-np.ones(DIM), 3)
+
+    def test_linear_scan_rejects_bad_k_message_names_range(self):
+        index = LinearScanIndex(SquaredEuclidean()).build(self.points)
+        with pytest.raises(InvalidParameterError, match=r"k must be in \[1, 80\]"):
+            index.search(self.points[0], 0)
+
+    def test_harness_rejects_bad_batch_size(self):
+        from repro.datasets import load_dataset
+        from repro.eval.harness import run_workload
+
+        dataset = load_dataset("uniform", n=60, n_queries=2, seed=0)
+        index = LinearScanIndex(dataset.divergence).build(dataset.points)
+        with pytest.raises(InvalidParameterError, match="batch_size must be >= 1"):
+            run_workload(index, dataset, k=3, batch_size=0)

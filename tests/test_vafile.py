@@ -10,7 +10,7 @@ from repro.divergences import ItakuraSaito, SquaredEuclidean
 from repro.exceptions import InvalidParameterError, NotFittedError
 from repro.vafile import UniformQuantizer
 
-from .conftest import all_decomposable_divergences, points_for
+from conftest import all_decomposable_divergences, points_for
 
 
 class TestUniformQuantizer:
