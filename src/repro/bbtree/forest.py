@@ -18,7 +18,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..divergences.base import DecomposableBregmanDivergence
-from ..exceptions import NotFittedError
+from ..exceptions import InvalidParameterError, NotFittedError
 from ..partitioning.scheme import Partitioning
 from .tree import BatchRangeResult, BBTree, RangeResult
 
@@ -181,6 +181,24 @@ class BBForest:
             for q in range(b)
         ]
         return unions, stats
+
+    def shard_assignment(self, n_shards: int) -> np.ndarray:
+        """Per-point shard ids: seed-tree leaves striped round-robin.
+
+        Striping whole leaves (rather than raw layout positions) keeps
+        each cluster's points on one disk -- a leaf fetch stays local to
+        a single shard -- while spreading consecutive clusters across
+        shards so a batch's candidate fan-out load-balances.  Returns an
+        array indexed by logical point id.
+        """
+        self._require_built()
+        if n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        assignment = np.empty(self.layout_order.size, dtype=int)
+        seed_tree = self.trees[self.seed_subspace]
+        for i, leaf in enumerate(seed_tree.leaves()):
+            assignment[leaf.point_ids] = i % n_shards
+        return assignment
 
     def count_nodes(self) -> int:
         """Total nodes across all trees."""

@@ -60,6 +60,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="B",
         help="drive the workload through search_batch in chunks of B queries",
     )
+    search.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="partition the point file across S simulated disks",
+    )
     search.add_argument("--probability", type=float, default=0.9, help="ABP guarantee p")
     search.add_argument("--seed", type=int, default=0)
 
@@ -115,6 +122,9 @@ def _cmd_search(args) -> int:
     if args.batch is not None and args.batch < 1:
         print(f"--batch must be >= 1, got {args.batch}", file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
     print(f"dataset: {dataset!r} ({dataset.description})")
     index = _make_index(args, dataset)
@@ -126,12 +136,16 @@ def _cmd_search(args) -> int:
     if args.batch is not None and not hasattr(index, "search_batch"):
         print(f"method {args.method!r} has no batch engine; ignoring --batch")
         args.batch = None
+    if args.shards is not None and not hasattr(index, "reshard"):
+        print(f"method {args.method!r} has no sharded storage; ignoring --shards")
+        args.shards = None
     result = run_workload(
         index,
         dataset,
         k=args.k,
         method_name=args.method.upper(),
         batch_size=args.batch,
+        shards=args.shards,
     )
     print(format_table(WorkloadResult.headers(), [result.row()]))
     if args.batch is not None:
@@ -139,6 +153,12 @@ def _cmd_search(args) -> int:
         print(
             f"batch mode: B={args.batch}, coalesced I/O saved "
             f"{saved} page reads across {result.n_queries} queries"
+        )
+    if args.shards is not None:
+        fanout = result.extras.get("shard_pages_read")
+        print(
+            f"sharded storage: S={args.shards} simulated disks"
+            + (f", page fan-out {fanout}" if fanout is not None else "")
         )
     return 0
 

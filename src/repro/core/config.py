@@ -40,6 +40,16 @@ class BrePartitionConfig:
     seed:
         Seeds every random choice (two-means, PCCP draws, seed-subspace
         selection) for reproducible builds.
+    n_shards:
+        Number of simulated disks the point file is partitioned across.
+        ``1`` (default) keeps the single-disk :class:`DataStore`;
+        ``> 1`` builds a :class:`~repro.storage.sharded.ShardedDataStore`
+        with the BB-forest's leaves striped round-robin across shards.
+    refinement_block_size:
+        Rows of the candidate union scored per call of the blocked
+        cross-divergence kernel.  Bounds the kernel's per-block
+        ``(block, d)`` point-term slabs and ``(block, B)`` output;
+        ``None`` (default) keeps the larger of the two near 8MB.
     """
 
     n_partitions: Optional[int] = None
@@ -49,6 +59,8 @@ class BrePartitionConfig:
     point_filter: bool = False
     calibration_samples: int = 50
     seed: Optional[int] = None
+    n_shards: int = 1
+    refinement_block_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_partitions is not None and self.n_partitions < 1:
@@ -59,6 +71,12 @@ class BrePartitionConfig:
             raise InvalidParameterError("leaf_capacity must be >= 1 (or None for auto)")
         if self.calibration_samples < 2:
             raise InvalidParameterError("calibration_samples must be >= 2")
+        if self.n_shards < 1:
+            raise InvalidParameterError("n_shards must be >= 1")
+        if self.refinement_block_size is not None and self.refinement_block_size < 1:
+            raise InvalidParameterError(
+                "refinement_block_size must be >= 1 (or None for auto)"
+            )
 
     def make_strategy(self, rng) -> PartitionStrategy:
         """Resolve the strategy field to an instance."""
@@ -78,3 +96,17 @@ class BrePartitionConfig:
         if self.leaf_capacity is not None:
             return self.leaf_capacity
         return max(8, self.page_size_bytes // (8 * dimensionality))
+
+    def refinement_block_for(self, n_queries: int, dimensionality: int) -> int:
+        """Union rows per blocked-kernel call: explicit, or a cache budget.
+
+        The matrixised cross-divergence kernels materialise per-block
+        ``(block, d)`` point-term vectors and a ``(block, n_queries)``
+        output slab; the auto block keeps the larger of the two around
+        2^20 float64 elements (~8MB) so blocks stay cache-friendly
+        without paying per-block dispatch for tiny slices.
+        """
+        if self.refinement_block_size is not None:
+            return self.refinement_block_size
+        budget_elements = 1 << 20
+        return max(1, budget_elements // max(1, n_queries, dimensionality))

@@ -40,19 +40,42 @@ from ..partitioning.optimizer import (
 from ..storage.buffer_pool import BufferPool
 from ..storage.datastore import DataStore
 from ..storage.io_stats import DiskAccessTracker
+from ..storage.sharded import ShardedDataStore
 from .config import BrePartitionConfig
 from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
 from .transforms import (
     SubspaceTransforms,
     determine_search_bounds,
     determine_search_bounds_batch,
+    pad_radii,
 )
 
 __all__ = ["BrePartitionIndex"]
 
-#: relative slack added to range radii to absorb floating-point rounding
-#: in the bound computation (never excludes a true candidate).
-_RADIUS_EPS = 1e-9
+#: extra candidates (beyond k) preselected by the fast expansion kernel
+#: and re-scored with the direct kernel before the final top-k.
+_RERANK_BUFFER = 16
+
+
+def _top_k_stable(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest values, ties broken by lowest index.
+
+    Equivalent to ``np.argsort(values, kind="stable")[:k]`` without
+    sorting the full array: ``np.argpartition`` isolates the k smallest,
+    and only the entries tied with the k-th smallest value join the
+    final stable sort (so boundary ties still resolve by index).  Both
+    the per-query and the blocked batch refinement select through this
+    one helper, which is what makes their tie-breaking identical.
+    """
+    k_eff = min(k, values.size)
+    if k_eff == 0:
+        return np.empty(0, dtype=int)
+    if values.size > k_eff:
+        part = np.argpartition(values, k_eff - 1)[:k_eff]
+        pool = np.flatnonzero(values <= values[part].max())
+    else:
+        pool = np.arange(values.size)
+    return pool[np.argsort(values[pool], kind="stable")][:k_eff]
 
 
 class BrePartitionIndex:
@@ -98,6 +121,7 @@ class BrePartitionIndex:
         self.n_partitions: Optional[int] = None
         self.construction_seconds: float = 0.0
         self._points: Optional[np.ndarray] = None
+        self._refine_conditioner = None
 
     # ------------------------------------------------------------------
     # construction (Algorithm 5)
@@ -134,16 +158,52 @@ class BrePartitionIndex:
             leaf_capacity=leaf_capacity,
             rng=self.rng,
         ).build(points)
-        self.datastore = DataStore(
+        self.datastore = self._make_datastore(points)
+        self.transforms = SubspaceTransforms(self.divergence, self.partitioning, points)
+        self._points = points
+        # Conditioner for the expansion-form refinement kernels: maps
+        # candidates and queries into the kernels' well-conditioned
+        # regime via the divergence's exact invariance (centring for
+        # SED/Mahalanobis, scaling for ISD/KL).  Both the single and the
+        # blocked path condition identically, preserving bitwise parity.
+        self._refine_conditioner = self.divergence.refinement_conditioner(points)
+        self.construction_seconds = time.perf_counter() - start
+        return self
+
+    def _make_datastore(self, points: np.ndarray):
+        """Lay the point file out on one disk or across config.n_shards."""
+        if self.config.n_shards > 1:
+            return ShardedDataStore(
+                points,
+                self.config.n_shards,
+                layout_order=self.forest.layout_order,
+                shard_of=self.forest.shard_assignment(self.config.n_shards),
+                page_size_bytes=self.config.page_size_bytes,
+                tracker=self.tracker,
+                buffer_pool=self.buffer_pool,
+            )
+        return DataStore(
             points,
             layout_order=self.forest.layout_order,
             page_size_bytes=self.config.page_size_bytes,
             tracker=self.tracker,
             buffer_pool=self.buffer_pool,
         )
-        self.transforms = SubspaceTransforms(self.divergence, self.partitioning, points)
-        self._points = points
-        self.construction_seconds = time.perf_counter() - start
+
+    def reshard(self, n_shards: int) -> "BrePartitionIndex":
+        """Re-lay the point file across ``n_shards`` simulated disks.
+
+        Only the datastore is rebuilt -- the forest, transforms and leaf
+        layout are reused -- so this is cheap relative to :meth:`build`.
+        Search results are unaffected (sharding changes where pages
+        live, not what the index returns); ``config.n_shards`` is
+        updated so later rebuilds keep the setting.
+        """
+        self._require_built()
+        if n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        self.config.n_shards = int(n_shards)
+        self.datastore = self._make_datastore(self._points)
         return self
 
     def _require_built(self) -> None:
@@ -171,9 +231,8 @@ class BrePartitionIndex:
         triples = self.transforms.query_triples(query)
         ub_matrix = self.transforms.upper_bound_matrix(triples)
         search_bounds = determine_search_bounds(ub_matrix, k)
-        exact_radii = search_bounds.radii + _RADIUS_EPS * (1.0 + np.abs(search_bounds.radii))
-        radii = self._adjust_radii(search_bounds, triples)
-        radii = radii + _RADIUS_EPS * (1.0 + np.abs(radii))
+        exact_radii = pad_radii(search_bounds.radii)
+        radii = pad_radii(self._adjust_radii(search_bounds, triples))
 
         sub_queries = self.partitioning.split(query)
         candidates, forest_stats = self.forest.range_union(
@@ -183,11 +242,16 @@ class BrePartitionIndex:
             sub_queries, radii, exact_radii, k, candidates, forest_stats
         )
 
-        # Refinement: fetch candidates (charged I/O) and rank exactly.
+        # Refinement: fetch candidates (charged I/O), preselect with the
+        # fast cross kernel (B=1; its columns are bitwise independent of
+        # batch composition, so search and search_batch agree
+        # bit-for-bit), then rerank the short list with the direct
+        # kernel for well-conditioned final values.
         vectors = self.datastore.fetch(candidates)
-        exact = self.divergence.batch_divergence(vectors, query)
-        k_eff = min(k, candidates.size)
-        order = np.argsort(exact)[:k_eff]
+        scores = self._score_refinement(vectors, query[None, :])[:, 0]
+        top_ids, exact = self._rerank_topk(
+            candidates, scores, query, k, lambda sel: vectors[sel]
+        )
 
         elapsed = time.perf_counter() - start
         snapshot = self.tracker.end_query()
@@ -200,9 +264,7 @@ class BrePartitionIndex:
             leaves_visited=forest_stats.leaves_visited,
             points_evaluated=int(candidates.size),
         )
-        return SearchResult(
-            ids=candidates[order], divergences=exact[order], stats=stats
-        )
+        return SearchResult(ids=top_ids, divergences=exact, stats=stats)
 
     def _widen_if_short(self, sub_queries, radii, exact_radii, k, candidates, forest_stats):
         """Recover >= k candidates when adjusted radii were too aggressive.
@@ -277,11 +339,8 @@ class BrePartitionIndex:
         triples = self.transforms.query_triples_batch(queries)
         ub_tensor = self.transforms.upper_bound_tensor(triples)
         search_bounds = determine_search_bounds_batch(ub_tensor, k)
-        exact_radii = search_bounds.radii + _RADIUS_EPS * (
-            1.0 + np.abs(search_bounds.radii)
-        )
-        radii = self._adjust_radii_batch(search_bounds, triples)
-        radii = radii + _RADIUS_EPS * (1.0 + np.abs(radii))
+        exact_radii = pad_radii(search_bounds.radii)
+        radii = pad_radii(self._adjust_radii_batch(search_bounds, triples))
 
         sub_matrices = self.partitioning.split_matrix(queries)
         candidates, forest_stats = self.forest.range_union_batch(
@@ -299,24 +358,26 @@ class BrePartitionIndex:
                     forest_stats[q],
                 )
 
-        # Refinement: charge the batch's page union once, then rank each
-        # query exactly over I/O-free reads (the vectors' pages are paid).
+        # Refinement: charge the batch's page union once, then score all
+        # (candidate, query) pairs through one blocked cross-divergence
+        # kernel over I/O-free reads (the vectors' pages are paid).
         coalesced_pages = self.datastore.charge_pages_for(candidates)
-        per_query_seconds = 0.0  # filled after the loop; ranking is cheap
+        pages_per_shard = getattr(self.datastore, "last_charge_per_shard", None)
+        if pages_per_shard is not None:
+            pages_per_shard = list(pages_per_shard)
+        refined = self._refine_batch(candidates, queries, k)
         results: list[SearchResult] = []
         unshared_pages = 0
         total_candidates = 0
         for q in range(n_queries):
             ids = candidates[q]
-            exact = self.divergence.batch_divergence(self.datastore.peek(ids), queries[q])
-            k_eff = min(k, ids.size)
-            order = np.argsort(exact)[:k_eff]
+            top_ids, top_divergences = refined[q]
             solo_pages = self.datastore.count_pages_of(ids)
             unshared_pages += solo_pages
             total_candidates += int(ids.size)
             stats = QueryStats(
                 pages_read=solo_pages,
-                cpu_seconds=per_query_seconds,
+                cpu_seconds=0.0,  # filled below; ranking is cheap
                 n_candidates=int(ids.size),
                 search_bound=float(search_bounds.totals[q]),
                 per_subspace_candidates=forest_stats[q].per_subspace_candidates,
@@ -324,7 +385,7 @@ class BrePartitionIndex:
                 points_evaluated=int(ids.size),
             )
             results.append(
-                SearchResult(ids=ids[order], divergences=exact[order], stats=stats)
+                SearchResult(ids=top_ids, divergences=top_divergences, stats=stats)
             )
 
         elapsed = time.perf_counter() - start
@@ -337,11 +398,136 @@ class BrePartitionIndex:
             pages_read=snapshot.pages_read,
             pages_read_unshared=unshared_pages,
             pages_coalesced=coalesced_pages,
+            pages_read_per_shard=pages_per_shard,
             cpu_seconds=elapsed,
             n_queries=n_queries,
             n_candidates=total_candidates,
         )
         return BatchSearchResult(results=results, stats=batch_stats)
+
+    # ------------------------------------------------------------------
+    # refinement kernels
+    # ------------------------------------------------------------------
+
+    def _score_refinement(
+        self, vectors: np.ndarray, queries: np.ndarray
+    ) -> np.ndarray:
+        """Exact ``(n, B)`` divergences of every (vector, query) pair.
+
+        Routes through the divergence's expansion-form cross kernel,
+        first applying its :class:`RefinementConditioner` (centring /
+        scaling into the well-conditioned regime) and folding the
+        conditioner's output factor back in.  Conditioning is
+        elementwise, so scoring a row subset or block is bitwise
+        identical to slicing a full scoring -- the parity the blocked
+        and per-query paths rely on.
+        """
+        conditioner = self._refine_conditioner
+        if conditioner is not None:
+            vectors = conditioner.transform(vectors)
+            queries = conditioner.transform(queries)
+        values = self.divergence.cross_divergence(vectors, queries)
+        if conditioner is not None and conditioner.factor != 1.0:
+            values = values * conditioner.factor
+        return values
+
+    def _rerank_topk(
+        self,
+        ids: np.ndarray,
+        scores: np.ndarray,
+        query: np.ndarray,
+        k: int,
+        gather,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Final top-k: preselect by expansion score, rerank directly.
+
+        The expansion kernel can lose precision to cancellation when
+        divergence gaps sit below its noise floor, so the k results are
+        drawn from a slightly larger preselected buffer and re-scored
+        with the divergence's direct (well-conditioned)
+        ``batch_divergence`` -- the same formula the brute-force oracle
+        uses, at ``O(buffer * d)`` per query.  ``gather(positions)``
+        materialises candidate vectors for positions into ``ids``;
+        every path passes a fresh contiguous gather of the same rows,
+        so single, looped, and blocked refinement rerank identical
+        arrays and stay bitwise-equal.  Ties resolve by ascending id
+        (``ids`` is sorted, positions are sorted back before scoring).
+        """
+        buffer = min(ids.size, max(2 * k, k + _RERANK_BUFFER))
+        pre = np.sort(_top_k_stable(scores, buffer))
+        exact = self.divergence.batch_divergence(gather(pre), query)
+        order = _top_k_stable(exact, k)
+        return ids[pre][order], exact[order]
+
+    def _refine_batch(
+        self, candidates: list, queries: np.ndarray, k: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Blocked exact refinement: one (union x batch) kernel pass.
+
+        Gathers the batch's candidate union once, scores every
+        (candidate, query) pair with the divergence's broadcasted
+        :meth:`~repro.divergences.base.DecomposableBregmanDivergence.cross_divergence`
+        kernel in blocks of union rows (``config.refinement_block_size``
+        bounds the ``(block, B, d)`` intermediate), then extracts each
+        query's top k from its candidate rows via ``np.argpartition``.
+
+        Bitwise contract: returns exactly what
+        :meth:`_refine_batch_looped` returns -- the cross kernel's
+        columns are bitwise independent of batch composition and
+        blocking, and ties resolve by ascending id through the shared
+        :func:`_top_k_stable`.  Pages must already be charged; reads go
+        through ``peek``.
+        """
+        n_queries = len(candidates)
+        member = np.zeros(self.transforms.n_points, dtype=bool)
+        for ids in candidates:
+            member[ids] = True
+        union = np.flatnonzero(member)
+        if union.size == 0 or n_queries == 0:
+            empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
+            return [empty for _ in range(n_queries)]
+        row_of = np.empty(self.transforms.n_points, dtype=int)
+        row_of[union] = np.arange(union.size)
+
+        vectors = self.datastore.peek(union)
+        block = self.config.refinement_block_for(n_queries, vectors.shape[1])
+        cross = np.empty((union.size, n_queries), dtype=float)
+        for lo in range(0, union.size, block):
+            hi = min(lo + block, union.size)
+            cross[lo:hi] = self._score_refinement(vectors[lo:hi], queries)
+
+        refined = []
+        for q, ids in enumerate(candidates):
+            rows = row_of[ids]
+            scores = cross[rows, q]
+            refined.append(
+                self._rerank_topk(
+                    ids, scores, queries[q], k, lambda sel: vectors[rows[sel]]
+                )
+            )
+        return refined
+
+    def _refine_batch_looped(
+        self, candidates: list, queries: np.ndarray, k: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Reference per-query refinement (one kernel call per query,
+        per-query gathers -- the PR 1 loop structure).
+
+        Kept for the bitwise-parity tests and
+        ``benchmarks/bench_refinement_kernel.py``; must return exactly
+        what :meth:`_refine_batch` returns.  Like the blocked kernel it
+        assumes pages are already charged and reads through ``peek``.
+        """
+        refined = []
+        for q, ids in enumerate(candidates):
+            vectors = self.datastore.peek(ids)
+            scores = self._score_refinement(vectors, queries[q][None, :])[:, 0]
+            refined.append(
+                self._rerank_topk(
+                    ids, scores, queries[q], k, lambda sel: vectors[sel]
+                )
+            )
+        return refined
 
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:
         """Hook for the approximate extension; exact search returns as-is."""

@@ -63,6 +63,11 @@ class BatchQueryStats:
     the batch actually charged, which can be lower still when a buffer
     pool absorbs part of the working set (a caching effect, kept
     separate so it is never reported as coalescing).
+
+    On a sharded datastore ``pages_read_per_shard`` records how the
+    coalesced working set fanned out across the simulated disks (its
+    entries sum to ``pages_coalesced``); it stays ``None`` on a
+    single-disk store.
     """
 
     #: simulated pages actually charged (after any buffer pool).
@@ -71,6 +76,8 @@ class BatchQueryStats:
     pages_read_unshared: int = 0
     #: distinct pages touched by the whole batch (pool-oblivious).
     pages_coalesced: int = 0
+    #: per-shard split of ``pages_coalesced`` (sharded stores only).
+    pages_read_per_shard: Optional[List[int]] = None
     #: wall-clock seconds for the whole batch.
     cpu_seconds: float = 0.0
     #: number of queries in the batch.

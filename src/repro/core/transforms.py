@@ -21,12 +21,24 @@ from ..geometry import bounds as bd
 from ..partitioning.scheme import Partitioning
 
 __all__ = [
+    "RADIUS_EPS",
     "SubspaceTransforms",
     "SearchBounds",
     "SearchBoundsBatch",
     "determine_search_bounds",
     "determine_search_bounds_batch",
+    "pad_radii",
 ]
+
+#: relative slack added to range radii to absorb floating-point rounding
+#: in the bound computation (never excludes a true candidate).  Shared by
+#: the single-query and batch search paths so the two can never drift.
+RADIUS_EPS = 1e-9
+
+
+def pad_radii(radii: np.ndarray) -> np.ndarray:
+    """Apply the :data:`RADIUS_EPS` slack to an array of range radii."""
+    return radii + RADIUS_EPS * (1.0 + np.abs(radii))
 
 
 @dataclass

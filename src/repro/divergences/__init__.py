@@ -18,6 +18,7 @@ from .base import (
     BregmanDivergence,
     DecomposableBregmanDivergence,
     Domain,
+    RefinementConditioner,
 )
 from .exponential import ExponentialDistance
 from .itakura_saito import BurgEntropy, ItakuraSaito
@@ -30,6 +31,7 @@ from .squared_euclidean import SquaredEuclidean
 __all__ = [
     "BregmanDivergence",
     "DecomposableBregmanDivergence",
+    "RefinementConditioner",
     "Domain",
     "REALS",
     "POSITIVE_REALS",

@@ -60,8 +60,24 @@ class ExponentialDistance(DecomposableBregmanDivergence):
         return value if value > 0.0 else 0.0
 
     def batch_divergence(self, points: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # Direct form: well-conditioned (the reference kernel;
+        # cross_divergence is the fast expansion).
         points = np.atleast_2d(np.asarray(points, dtype=float))
         y = np.asarray(y, dtype=float)
         ey = np.exp(y)
         values = np.sum(np.exp(points) - (points - y + 1.0) * ey, axis=1)
+        return np.maximum(values, 0.0)
+
+    def cross_divergence(self, points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        # Expansion sum(e^x - x e^q + (q - 1) e^q): the exponentials move
+        # to per-point / per-query vectors; the only per-pair work is the
+        # <x, e^q> contraction.
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        eq = np.exp(queries)
+        values = (
+            np.sum(np.exp(points), axis=1)[:, None]
+            - np.einsum("nj,bj->nb", points, eq)
+            + np.einsum("bj,bj->b", queries - 1.0, eq)[None, :]
+        )
         return np.maximum(values, 0.0)

@@ -25,7 +25,11 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import DomainError, NotDecomposableError
-from .base import POSITIVE_REALS, DecomposableBregmanDivergence
+from .base import (
+    POSITIVE_REALS,
+    DecomposableBregmanDivergence,
+    RefinementConditioner,
+)
 
 __all__ = ["GeneralizedKL", "SimplexKL"]
 
@@ -35,6 +39,14 @@ class GeneralizedKL(DecomposableBregmanDivergence):
 
     name = "generalized_kl"
     domain = POSITIVE_REALS
+
+    def refinement_conditioner(self, points: np.ndarray) -> RefinementConditioner:
+        # D is 1-homogeneous (D(x/c, y/c) = D(x, y) / c): evaluating the
+        # expansion kernel near unit scale and multiplying back by c
+        # keeps its x*log(x) sums small on large-magnitude data.
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        c = float(points.mean())
+        return RefinementConditioner(scale=c, factor=c)
 
     def phi(self, t: np.ndarray) -> np.ndarray:
         t = np.asarray(t, dtype=float)
@@ -53,9 +65,25 @@ class GeneralizedKL(DecomposableBregmanDivergence):
         return value if value > 0.0 else 0.0
 
     def batch_divergence(self, points: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # Direct ratio form: well-conditioned (the reference kernel;
+        # cross_divergence is the fast expansion).
         points = np.atleast_2d(np.asarray(points, dtype=float))
         y = np.asarray(y, dtype=float)
         values = np.sum(points * np.log(points / y) - points + y, axis=1)
+        return np.maximum(values, 0.0)
+
+    def cross_divergence(self, points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        # Expansion sum(x log x - x log q - x + q): the logs move to
+        # per-point / per-query vectors; the only per-pair work is the
+        # <x, log q> contraction.
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        values = (
+            np.sum(points * np.log(points), axis=1)[:, None]
+            - np.einsum("nj,bj->nb", points, np.log(queries))
+            - np.sum(points, axis=1)[:, None]
+            + np.sum(queries, axis=1)[None, :]
+        )
         return np.maximum(values, 0.0)
 
 

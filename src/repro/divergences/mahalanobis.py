@@ -24,7 +24,12 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import InvalidParameterError
-from .base import REALS, BregmanDivergence, DecomposableBregmanDivergence
+from .base import (
+    REALS,
+    BregmanDivergence,
+    DecomposableBregmanDivergence,
+    RefinementConditioner,
+)
 
 __all__ = ["DiagonalMahalanobis", "MahalanobisDivergence"]
 
@@ -40,6 +45,12 @@ class DiagonalMahalanobis(DecomposableBregmanDivergence):
 
     name = "diagonal_mahalanobis"
     domain = REALS
+
+    def refinement_conditioner(self, points: np.ndarray) -> RefinementConditioner:
+        # Translation invariance: centring on the dataset mean removes
+        # the expansion kernel's large-magnitude cancellation exactly.
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return RefinementConditioner(shift=points.mean(axis=0))
 
     def __init__(self, weights: np.ndarray) -> None:
         weights = np.asarray(weights, dtype=float)
@@ -68,9 +79,21 @@ class DiagonalMahalanobis(DecomposableBregmanDivergence):
         return float(0.5 * np.dot(self.weights, diff * diff))
 
     def batch_divergence(self, points: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # Direct diff form: well-conditioned at any magnitude (the
+        # reference kernel; cross_divergence is the fast expansion).
         points = np.atleast_2d(np.asarray(points, dtype=float))
         diff = points - np.asarray(y, dtype=float)
         return 0.5 * (diff * diff) @ self.weights
+
+    def cross_divergence(self, points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        values = (
+            np.einsum("nj,nj,j->n", points, points, self.weights)[:, None]
+            - 2.0 * np.einsum("nj,bj->nb", points, self.weights * queries)
+            + np.einsum("bj,bj,j->b", queries, queries, self.weights)[None, :]
+        )
+        return np.maximum(0.5 * values, 0.0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DiagonalMahalanobis(d={self.weights.size})"
@@ -86,6 +109,10 @@ class MahalanobisDivergence(BregmanDivergence):
     name = "mahalanobis"
     domain = REALS
     supports_partitioning = False
+
+    def refinement_conditioner(self, points: np.ndarray) -> RefinementConditioner:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return RefinementConditioner(shift=points.mean(axis=0))
 
     def __init__(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix, dtype=float)

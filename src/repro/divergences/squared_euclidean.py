@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import REALS, DecomposableBregmanDivergence
+from .base import REALS, DecomposableBregmanDivergence, RefinementConditioner
 
 __all__ = ["SquaredEuclidean"]
 
@@ -22,6 +22,12 @@ class SquaredEuclidean(DecomposableBregmanDivergence):
 
     name = "squared_euclidean"
     domain = REALS
+
+    def refinement_conditioner(self, points: np.ndarray) -> RefinementConditioner:
+        # Translation invariance: centring on the dataset mean removes
+        # the expansion kernel's large-magnitude cancellation exactly.
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        return RefinementConditioner(shift=points.mean(axis=0))
 
     def phi(self, t: np.ndarray) -> np.ndarray:
         t = np.asarray(t, dtype=float)
@@ -39,6 +45,18 @@ class SquaredEuclidean(DecomposableBregmanDivergence):
         return float(np.dot(diff, diff))
 
     def batch_divergence(self, points: np.ndarray, y: np.ndarray) -> np.ndarray:
+        # Direct diff form: well-conditioned at any magnitude (the
+        # reference kernel; cross_divergence is the fast expansion).
         points = np.atleast_2d(np.asarray(points, dtype=float))
         diff = points - np.asarray(y, dtype=float)
         return np.einsum("ij,ij->i", diff, diff)
+
+    def cross_divergence(self, points: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        queries = np.atleast_2d(np.asarray(queries, dtype=float))
+        values = (
+            np.einsum("nj,nj->n", points, points)[:, None]
+            - 2.0 * np.einsum("nj,bj->nb", points, queries)
+            + np.einsum("bj,bj->b", queries, queries)[None, :]
+        )
+        return np.maximum(values, 0.0)

@@ -104,6 +104,7 @@ def run_workload(
     n_queries: int | None = None,
     with_accuracy: bool = True,
     batch_size: int | None = None,
+    shards: int | None = None,
 ) -> WorkloadResult:
     """Run the dataset's query workload and aggregate metrics.
 
@@ -114,7 +115,21 @@ def run_workload(
     ``search_batch`` engine in chunks of that size; ``mean_io`` then
     reflects the coalesced pages actually charged per query, and the
     result's ``extras`` record the batch totals.
+
+    With ``shards`` set, the index's point file is re-laid across that
+    many simulated disks before the workload (via ``index.reshard``;
+    indexes without one are rejected).  Batch runs then record the
+    per-shard fan-out of the coalesced page reads in
+    ``extras["shard_pages_read"]``.
     """
+    if shards is not None:
+        if not hasattr(index, "reshard"):
+            raise InvalidParameterError(
+                f"index {type(index).__name__} does not support sharding "
+                "(no reshard method)"
+            )
+        index.reshard(shards)
+
     queries = dataset.queries
     if n_queries is not None:
         queries = queries[:n_queries]
@@ -123,6 +138,7 @@ def run_workload(
     batched_pages = 0
     batched_pages_unshared = 0
     batched_pages_coalesced = 0
+    shard_pages: list[int] | None = None
     for query, (result, batch_stats) in zip(
         queries, _iter_results(index, queries, k, batch_size)
     ):
@@ -130,6 +146,15 @@ def run_workload(
             batched_pages += batch_stats.pages_read
             batched_pages_unshared += batch_stats.pages_read_unshared
             batched_pages_coalesced += batch_stats.pages_coalesced
+            if batch_stats.pages_read_per_shard is not None:
+                if shard_pages is None:
+                    shard_pages = [0] * len(batch_stats.pages_read_per_shard)
+                shard_pages = [
+                    total + part
+                    for total, part in zip(
+                        shard_pages, batch_stats.pages_read_per_shard
+                    )
+                ]
         ios.append(result.stats.pages_read)
         seconds.append(result.stats.cpu_seconds)
         candidates.append(result.stats.n_candidates)
@@ -159,6 +184,10 @@ def run_workload(
                 batched_pages_unshared - batched_pages_coalesced, 0
             ),
         }
+        if shard_pages is not None:
+            extras["shard_pages_read"] = shard_pages
+    if shards is not None:
+        extras["shards"] = shards
 
     return WorkloadResult(
         method=method_name if method_name is not None else type(index).__name__,

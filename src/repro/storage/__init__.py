@@ -11,10 +11,13 @@ point file that BB-tree leaves reference by address.
 from .buffer_pool import BufferPool
 from .datastore import Address, DataStore
 from .io_stats import DiskAccessTracker, IOCostModel, QueryIOSnapshot
+from .sharded import ShardTracker, ShardedDataStore
 
 __all__ = [
     "Address",
     "DataStore",
+    "ShardedDataStore",
+    "ShardTracker",
     "BufferPool",
     "DiskAccessTracker",
     "IOCostModel",

@@ -1,0 +1,293 @@
+"""Sharded storage: the point file partitioned across simulated disks.
+
+ROADMAP "Sharding": the per-query candidate unions of the batch engine
+are independent, so candidate fetches can fan out across disks.
+:class:`ShardedDataStore` splits the dataset over ``S`` shard
+:class:`~repro.storage.datastore.DataStore` files (each with its own
+fileno, page space and :class:`DiskAccessTracker`) while presenting the
+same I/O-charged interface as a single store -- ``fetch`` / ``peek`` /
+``charge_pages_for`` / ``count_pages_of`` / ``scan`` all accept global
+point ids and route per shard internally.
+
+Accounting semantics:
+
+* every charged page is counted on its shard's own tracker *and*
+  mirrored into the shared aggregate tracker (the one the index scopes
+  with ``start_query``/``end_query``), so existing per-query and batch
+  statistics keep working unchanged;
+* the aggregate tracker's query-scope deduplication decides whether a
+  page is charged at all -- a page deduplicated (or absorbed by the
+  shared buffer pool) is charged on *neither* tracker, keeping the sum
+  of shard totals equal to the aggregate total;
+* :meth:`ShardedDataStore.charge_pages_for` returns the pool-oblivious
+  distinct page count (exactly like the unsharded store) and records
+  the per-shard split in :attr:`ShardedDataStore.last_charge_per_shard`
+  for batch statistics.
+
+Shard placement defaults to striping *pages* of the global layout order
+round-robin, but callers (the BB-forest) can pass an explicit per-point
+``shard_of`` assignment -- e.g. striping whole leaves so that each
+shard keeps leaf-level locality.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError, StorageError
+from .buffer_pool import BufferPool
+from .datastore import Address, DataStore
+from .io_stats import DiskAccessTracker
+
+__all__ = ["ShardTracker", "ShardedDataStore"]
+
+
+class ShardTracker(DiskAccessTracker):
+    """Per-shard tracker that mirrors every charge into an aggregate.
+
+    The aggregate tracker is consulted first: if it declines the charge
+    (query-scope deduplication), the shard does not count it either, so
+    per-shard totals always sum to the aggregate total.
+    """
+
+    def __init__(self, aggregate: DiskAccessTracker) -> None:
+        super().__init__()
+        self.aggregate = aggregate
+
+    def read_page(self, fileno: int, page: int) -> bool:
+        if not self.aggregate.read_page(fileno, page):
+            return False
+        return super().read_page(fileno, page)
+
+    def write_page(self, fileno: int, page: int) -> None:
+        self.aggregate.write_page(fileno, page)
+        super().write_page(fileno, page)
+
+    def reset(self) -> None:
+        """Zero this shard's counters; the aggregate is left untouched.
+
+        (The base class resets by re-running ``__init__``, which needs
+        the aggregate argument here.)  Reset the aggregate and every
+        shard tracker together to keep their totals in sync.
+        """
+        self.__init__(self.aggregate)
+
+
+class ShardedDataStore:
+    """``S`` shard files presenting one global point-id address space.
+
+    Parameters
+    ----------
+    points:
+        The full-dimensional dataset, shape ``(n, d)``.
+    n_shards:
+        Number of simulated disks.
+    layout_order:
+        Global clustering permutation (the BB-forest's seed-leaf order);
+        points assigned to the same shard keep this relative order, so
+        leaf-local pages survive sharding.
+    shard_of:
+        Optional per-*logical-id* shard assignment.  Defaults to
+        striping the pages of the global layout round-robin.
+    page_size_bytes:
+        Per-shard simulated page size.
+    tracker:
+        Aggregate I/O accounting (what the index scopes per query).
+    buffer_pool:
+        Optional cross-query page cache shared by all shards (shard
+        filenos keep the keys distinct).
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_shards: int,
+        layout_order: Sequence[int] | None = None,
+        shard_of: Sequence[int] | None = None,
+        page_size_bytes: int = 65536,
+        tracker: DiskAccessTracker | None = None,
+        buffer_pool: BufferPool | None = None,
+    ) -> None:
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n, d = points.shape
+        if n_shards < 1:
+            raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if layout_order is None:
+            layout_order = np.arange(n)
+        layout_order = np.asarray(layout_order, dtype=int)
+        if sorted(layout_order.tolist()) != list(range(n)):
+            raise InvalidParameterError("layout_order must be a permutation of range(n)")
+
+        self.n_shards = int(n_shards)
+        self.n_points = n
+        self.dimensionality = d
+        self.page_size_bytes = int(page_size_bytes)
+        self.points_per_page = max(1, page_size_bytes // (8 * d))
+        self.tracker = tracker if tracker is not None else DiskAccessTracker()
+        self.buffer_pool = buffer_pool
+
+        # Global layout rank of every logical id (position on the
+        # unsharded disk image); shards preserve this relative order.
+        rank = np.empty(n, dtype=int)
+        rank[layout_order] = np.arange(n)
+
+        if shard_of is None:
+            shard_of = (rank // self.points_per_page) % self.n_shards
+        shard_of = np.asarray(shard_of, dtype=int)
+        if shard_of.shape != (n,):
+            raise InvalidParameterError(
+                f"shard_of must have shape ({n},), got {shard_of.shape}"
+            )
+        if n and (shard_of.min() < 0 or shard_of.max() >= self.n_shards):
+            raise InvalidParameterError(
+                f"shard_of values must be in [0, {self.n_shards})"
+            )
+        self.shard_of = shard_of
+
+        self.shard_trackers: List[ShardTracker] = [
+            ShardTracker(self.tracker) for _ in range(self.n_shards)
+        ]
+        self.shards: List[DataStore] = []
+        #: global id -> row within its shard's store.
+        self._local = np.empty(n, dtype=int)
+        #: per-shard page counts charged by the most recent
+        #: :meth:`charge_pages_for` call (the batch fan-out record).
+        self.last_charge_per_shard: List[int] = [0] * self.n_shards
+        for s in range(self.n_shards):
+            ids = np.flatnonzero(shard_of == s)
+            ids = ids[np.argsort(rank[ids], kind="stable")]
+            self._local[ids] = np.arange(ids.size)
+            self.shards.append(
+                DataStore(
+                    points[ids].reshape(ids.size, d),
+                    layout_order=np.arange(ids.size),
+                    page_size_bytes=self.page_size_bytes,
+                    tracker=self.shard_trackers[s],
+                    buffer_pool=buffer_pool,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+
+    def _route(self, ids: np.ndarray):
+        """Route global ids per shard: yields (s, store, mask, local).
+
+        ``mask`` selects the rows of ``ids`` living on shard ``s`` and
+        ``local`` holds their row indices within that shard's store --
+        the one place the global-id -> (shard, local row) mapping lives.
+        """
+        shard_of = self.shard_of[ids]
+        for s, store in enumerate(self.shards):
+            mask = shard_of == s
+            yield s, store, mask, self._local[ids[mask]]
+
+    @property
+    def n_pages(self) -> int:
+        """Total pages across all shards."""
+        return sum(store.n_pages for store in self.shards)
+
+    def shard_of_point(self, point_id: int) -> int:
+        """Shard holding a logical point id."""
+        if not 0 <= point_id < self.n_points:
+            raise StorageError(f"point id {point_id} out of range")
+        return int(self.shard_of[point_id])
+
+    def address(self, point_id: int) -> Address:
+        """Global address: page encoded as ``shard + n_shards * local_page``."""
+        shard = self.shard_of_point(point_id)
+        local = self.shards[shard].address(int(self._local[point_id]))
+        return Address(shard + self.n_shards * local.page, local.slot)
+
+    def pages_of(self, point_ids: Iterable[int]) -> np.ndarray:
+        """Distinct global-encoded pages holding the given points (sorted)."""
+        if isinstance(point_ids, (np.ndarray, list, tuple)):
+            ids = np.asarray(point_ids, dtype=int)
+        else:
+            ids = np.fromiter(point_ids, dtype=int)
+        if ids.size == 0:
+            return np.empty(0, dtype=int)
+        pages = []
+        for s, store, _, local in self._route(ids):
+            if local.size:
+                pages.append(s + self.n_shards * store.pages_of(local))
+        return np.sort(np.concatenate(pages)) if pages else np.empty(0, dtype=int)
+
+    def count_pages_of(self, point_ids: Sequence[int]) -> int:
+        """Distinct pages holding the given points, summed over shards."""
+        ids = np.asarray(point_ids, dtype=int)
+        return sum(
+            store.count_pages_of(local) for _, store, _, local in self._route(ids)
+        )
+
+    # ------------------------------------------------------------------
+    # I/O-charged access
+    # ------------------------------------------------------------------
+
+    def fetch(self, point_ids: Sequence[int]) -> np.ndarray:
+        """Read points, charging each shard for its distinct pages."""
+        ids = np.asarray(point_ids, dtype=int)
+        for _, store, _, local in self._route(ids):
+            if local.size:
+                store.charge_pages_for([local])
+        return self.peek(ids)
+
+    def charge_pages_for(self, id_groups: Sequence[Sequence[int]]) -> int:
+        """Fan the batch's page-union charge out across the shards.
+
+        Each shard charges the distinct pages covering its slice of all
+        groups exactly once; the per-shard split is recorded in
+        :attr:`last_charge_per_shard`.  Returns the total distinct page
+        count (pool-oblivious, like the unsharded store).
+        """
+        local_groups: List[List[np.ndarray]] = [[] for _ in range(self.n_shards)]
+        for ids in id_groups:
+            for s, _, _, local in self._route(np.asarray(ids, dtype=int)):
+                local_groups[s].append(local)
+        per_shard = [
+            store.charge_pages_for(local_groups[s])
+            for s, store in enumerate(self.shards)
+        ]
+        self.last_charge_per_shard = per_shard
+        return sum(per_shard)
+
+    def scan(self) -> np.ndarray:
+        """Read every shard file fully; returns points in logical order."""
+        for store in self.shards:
+            # charge all the shard's pages without materialising its
+            # points (the gather below reads everything once, globally)
+            store.charge_pages_for([np.arange(store.n_points)])
+        return self.peek(np.arange(self.n_points))
+
+    def peek(self, point_ids: Sequence[int]) -> np.ndarray:
+        """Read points *without* charging I/O (pages already paid for)."""
+        ids = np.asarray(point_ids, dtype=int)
+        out = np.empty((ids.size, self.dimensionality), dtype=float)
+        for _, store, mask, local in self._route(ids):
+            if local.size:
+                out[mask] = store.peek(local)
+        return out
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_pages_read(self) -> List[int]:
+        """Lifetime pages read per shard (sums to the aggregate total)."""
+        return [tracker.total_pages_read for tracker in self.shard_trackers]
+
+    @property
+    def shard_sizes(self) -> List[int]:
+        """Points per shard."""
+        return [store.n_points for store in self.shards]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedDataStore(n={self.n_points}, d={self.dimensionality}, "
+            f"shards={self.n_shards}, pages={self.n_pages}, "
+            f"page_size={self.page_size_bytes}B)"
+        )

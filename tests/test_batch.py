@@ -31,7 +31,7 @@ from repro.exceptions import (
     NotFittedError,
 )
 from repro.geometry import ball_intersects_range, batch_ball_intersects_range
-from repro.storage import DataStore, DiskAccessTracker
+from repro.storage import BufferPool, DataStore, DiskAccessTracker, ShardedDataStore
 
 from conftest import all_decomposable_divergences, points_for
 
@@ -154,8 +154,6 @@ class TestBatchIO:
         )
 
     def test_buffer_pool_hits_not_reported_as_coalescing(self):
-        from repro.storage import BufferPool
-
         divergence = SquaredEuclidean()
         points = points_for(divergence, N_POINTS, DIM, seed=1)
         queries = points_for(divergence, 1, DIM, seed=2)  # B=1: zero coalescing
@@ -172,6 +170,13 @@ class TestBatchIO:
         assert stats.pages_read < stats.pages_coalesced
         assert stats.pages_saved == 0
 
+    def test_pages_read_per_shard_none_on_single_disk(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = build_index(divergence, points)
+        assert index.search_batch(queries, K).stats.pages_read_per_shard is None
+
     def test_linear_scan_batch_charges_one_scan(self):
         divergence = SquaredEuclidean()
         points = points_for(divergence, N_POINTS, DIM, seed=1)
@@ -184,6 +189,160 @@ class TestBatchIO:
             batch.stats.pages_read_unshared
             == index.datastore.n_pages * N_QUERIES
         )
+
+
+class TestShardedBatchIO:
+    """Batch accounting semantics must survive the sharded fan-out."""
+
+    # tiny pages (8 points each) so the fan-out spans several pages/shard
+    PAGE_BYTES = 8 * DIM * 8
+    N_SHARDS = 4
+
+    def _index(self, tracker=None, buffer_pool=None, n_shards=N_SHARDS):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        config = BrePartitionConfig(
+            n_partitions=3,
+            seed=0,
+            page_size_bytes=self.PAGE_BYTES,
+            n_shards=n_shards,
+        )
+        return BrePartitionIndex(
+            divergence, config, tracker=tracker, buffer_pool=buffer_pool
+        ).build(points)
+
+    def _queries(self, n=N_QUERIES):
+        return points_for(SquaredEuclidean(), n, DIM, seed=2)
+
+    def test_fanout_sums_to_coalesced(self):
+        index = self._index()
+        stats = index.search_batch(self._queries(), K).stats
+        assert isinstance(index.datastore, ShardedDataStore)
+        assert stats.pages_read_per_shard is not None
+        assert len(stats.pages_read_per_shard) == self.N_SHARDS
+        assert sum(stats.pages_read_per_shard) == stats.pages_coalesced
+        # leaf striping should spread the working set across shards
+        assert sum(1 for pages in stats.pages_read_per_shard if pages > 0) > 1
+
+    def test_coalescing_invariants_hold_sharded(self):
+        tracker = DiskAccessTracker()
+        index = self._index(tracker=tracker)
+        stats = index.search_batch(self._queries(), K).stats
+        assert stats.pages_coalesced <= stats.pages_read_unshared
+        assert stats.pages_coalesced <= index.datastore.n_pages
+        assert stats.pages_read == stats.pages_coalesced  # no pool
+        assert stats.pages_saved == stats.pages_read_unshared - stats.pages_coalesced
+
+    def test_shard_trackers_sum_to_aggregate(self):
+        tracker = DiskAccessTracker()
+        index = self._index(tracker=tracker)
+        index.search_batch(self._queries(), K)
+        index.search(self._queries(1)[0], K)
+        store = index.datastore
+        assert sum(store.shard_pages_read) == tracker.total_pages_read
+        assert sum(tr.total_pages_read for tr in store.shard_trackers) == (
+            tracker.total_pages_read
+        )
+
+    def test_pool_hits_not_reported_as_coalescing_sharded(self):
+        pool = BufferPool(capacity_pages=10_000)
+        index = self._index(buffer_pool=pool)
+        queries = self._queries(1)  # B=1: zero coalescing possible
+        index.search_batch(queries, K)  # warm the pool
+        stats = index.search_batch(queries, K).stats
+        assert pool.hits > 0
+        assert stats.pages_read < stats.pages_coalesced  # pool absorbed reads
+        assert stats.pages_saved == 0  # but no coalescing was claimed
+
+    def test_pages_saved_pool_oblivious_sharded(self):
+        # Same workload with and without a pool: pages_saved (a pure
+        # coalescing figure) must not change, and pool hits must account
+        # for exactly the charge the pool absorbed.
+        queries = self._queries()
+        cold = self._index().search_batch(queries, K).stats
+
+        pool = BufferPool(capacity_pages=10_000)
+        warm_index = self._index(buffer_pool=pool)
+        warm_index.search_batch(queries, K)  # warm the pool
+        hits_before = pool.hits
+        warm = warm_index.search_batch(queries, K).stats
+        assert warm.pages_saved == cold.pages_saved
+        assert warm.pages_coalesced == cold.pages_coalesced
+        assert warm.pages_read == 0  # fully absorbed on the second pass
+        assert pool.hits - hits_before == warm.pages_coalesced
+
+    def test_per_query_solo_pages_sum_sharded(self):
+        index = self._index()
+        batch = index.search_batch(self._queries(), K)
+        assert batch.stats.pages_read_unshared == sum(
+            r.stats.pages_read for r in batch
+        )
+
+    def test_single_query_search_charges_aggregate(self):
+        tracker = DiskAccessTracker()
+        index = self._index(tracker=tracker)
+        result = index.search(self._queries(1)[0], K)
+        assert result.stats.pages_read >= 1
+        assert result.stats.pages_read <= index.datastore.n_pages
+
+
+class TestShardedDataStore:
+    def _store(self, n=64, d=6, n_shards=3, **kwargs):
+        rng = np.random.default_rng(21)
+        points = rng.normal(size=(n, d))
+        return points, ShardedDataStore(
+            points, n_shards, page_size_bytes=4 * d * 8, **kwargs
+        )
+
+    def test_peek_and_fetch_return_logical_order(self):
+        points, store = self._store()
+        ids = np.array([5, 63, 0, 17, 5])
+        np.testing.assert_allclose(store.peek(ids), points[ids])
+        np.testing.assert_allclose(store.fetch(ids), points[ids])
+
+    def test_scan_returns_logical_order_and_charges_all(self):
+        tracker = DiskAccessTracker()
+        points, store = self._store(tracker=tracker)
+        np.testing.assert_allclose(store.scan(), points)
+        assert tracker.total_pages_read == store.n_pages
+
+    def test_charge_pages_for_records_fanout(self):
+        points, store = self._store()
+        groups = [np.arange(10), np.array([], dtype=int), np.arange(50, 64)]
+        total = store.charge_pages_for(groups)
+        assert total == sum(store.last_charge_per_shard)
+        assert total == store.count_pages_of(np.concatenate(groups))
+
+    def test_count_and_pages_of_empty(self):
+        _, store = self._store()
+        assert store.count_pages_of([]) == 0
+        assert store.pages_of([]).size == 0
+        assert store.peek(np.array([], dtype=int)).shape == (0, 6)
+
+    def test_shard_sizes_partition_everything(self):
+        _, store = self._store()
+        assert sum(store.shard_sizes) == store.n_points
+
+    def test_shard_tracker_reset(self):
+        _, store = self._store()
+        store.fetch(np.arange(20))
+        tracker = store.shard_trackers[0]
+        assert tracker.total_pages_read > 0
+        tracker.reset()  # base-class reset re-runs __init__; must not raise
+        assert tracker.total_pages_read == 0
+        assert tracker.aggregate is store.tracker
+
+    def test_rejects_bad_arguments(self):
+        rng = np.random.default_rng(22)
+        points = rng.normal(size=(10, 4))
+        with pytest.raises(InvalidParameterError, match="n_shards"):
+            ShardedDataStore(points, 0)
+        with pytest.raises(InvalidParameterError, match="permutation"):
+            ShardedDataStore(points, 2, layout_order=np.zeros(10, dtype=int))
+        with pytest.raises(InvalidParameterError, match="shard_of"):
+            ShardedDataStore(points, 2, shard_of=np.zeros(3, dtype=int))
+        with pytest.raises(InvalidParameterError, match="shard_of"):
+            ShardedDataStore(points, 2, shard_of=np.full(10, 5))
 
 
 class TestBatchValidation:
