@@ -67,6 +67,21 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="partition the point file across S simulated disks",
     )
+    search.add_argument(
+        "--shard-workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="fan batched candidate fetches out across W threads "
+        "(requires --shards and --batch; results are identical)",
+    )
+    search.add_argument(
+        "--refine-kernel",
+        choices=("auto", "dense", "sparse"),
+        default=None,
+        help="batch refinement kernel: dense (union x batch), sparse "
+        "(real pairs only), or auto density-based dispatch (default)",
+    )
     search.add_argument("--probability", type=float, default=0.9, help="ABP guarantee p")
     search.add_argument("--seed", type=int, default=0)
 
@@ -125,6 +140,12 @@ def _cmd_search(args) -> int:
     if args.shards is not None and args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
+    if args.shard_workers is not None and args.shard_workers < 1:
+        print(
+            f"--shard-workers must be >= 1, got {args.shard_workers}",
+            file=sys.stderr,
+        )
+        return 2
     dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
     print(f"dataset: {dataset!r} ({dataset.description})")
     index = _make_index(args, dataset)
@@ -139,6 +160,26 @@ def _cmd_search(args) -> int:
     if args.shards is not None and not hasattr(index, "reshard"):
         print(f"method {args.method!r} has no sharded storage; ignoring --shards")
         args.shards = None
+    if args.shard_workers is not None and args.shards is None:
+        print("--shard-workers needs a sharded store; ignoring (pass --shards)")
+        args.shard_workers = None
+    if args.shard_workers is not None and args.batch is None:
+        print("--shard-workers only affects batched fan-out; ignoring (pass --batch)")
+        args.shard_workers = None
+    if args.refine_kernel is not None and args.batch is None:
+        print("--refine-kernel only affects batch refinement; ignoring (pass --batch)")
+        args.refine_kernel = None
+    config = getattr(index, "config", None)
+    if args.shard_workers is not None and (
+        config is None or not hasattr(config, "shard_workers")
+    ):
+        print(f"method {args.method!r} has no fan-out pool; ignoring --shard-workers")
+        args.shard_workers = None
+    if args.refine_kernel is not None and (
+        config is None or not hasattr(config, "refine_kernel")
+    ):
+        print(f"method {args.method!r} has no kernel dispatch; ignoring --refine-kernel")
+        args.refine_kernel = None
     result = run_workload(
         index,
         dataset,
@@ -146,6 +187,8 @@ def _cmd_search(args) -> int:
         method_name=args.method.upper(),
         batch_size=args.batch,
         shards=args.shards,
+        shard_workers=args.shard_workers,
+        refine_kernel=args.refine_kernel,
     )
     print(format_table(WorkloadResult.headers(), [result.row()]))
     if args.batch is not None:
@@ -156,10 +199,15 @@ def _cmd_search(args) -> int:
         )
     if args.shards is not None:
         fanout = result.extras.get("shard_pages_read")
+        workers = args.shard_workers if args.shard_workers is not None else 1
         print(
-            f"sharded storage: S={args.shards} simulated disks"
+            f"sharded storage: S={args.shards} simulated disks, "
+            f"{workers} fan-out worker(s)"
             + (f", page fan-out {fanout}" if fanout is not None else "")
         )
+    kernel = result.extras.get("refine_kernel")
+    if kernel is not None:
+        print(f"batch refinement kernel: {kernel}")
     return 0
 
 

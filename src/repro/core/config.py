@@ -10,7 +10,10 @@ from ..partitioning.contiguous import ContiguousPartitioner
 from ..partitioning.pccp import PCCPPartitioner
 from ..partitioning.scheme import PartitionStrategy
 
-__all__ = ["BrePartitionConfig"]
+__all__ = ["BrePartitionConfig", "REFINE_KERNELS"]
+
+#: valid values of :attr:`BrePartitionConfig.refine_kernel`.
+REFINE_KERNELS = ("auto", "dense", "sparse")
 
 
 @dataclass
@@ -49,7 +52,33 @@ class BrePartitionConfig:
         Rows of the candidate union scored per call of the blocked
         cross-divergence kernel.  Bounds the kernel's per-block
         ``(block, d)`` point-term slabs and ``(block, B)`` output;
-        ``None`` (default) keeps the larger of the two near 8MB.
+        ``None`` (default) keeps the larger of the two near 8MB.  Also
+        bounds the sparse kernel's ``(block, d)`` pair-gather slabs.
+    shard_workers:
+        Threads fanning ``search_batch`` candidate fetches out across
+        the shards of a :class:`~repro.storage.sharded.ShardedDataStore`
+        (one task per shard; see :mod:`repro.exec`).  ``1`` (default)
+        runs the fan-out sequentially inline.  Ignored on single-disk
+        stores.  Results are bitwise identical for any value.
+    refine_kernel:
+        Batch refinement kernel: ``"dense"`` scores the full
+        (union x batch) matrix in blocks, ``"sparse"`` scores only real
+        (candidate, query) pairs through the grouped kernel, ``"auto"``
+        (default) picks sparse when the mean per-query candidate density
+        over the union falls below ``sparse_density_threshold``.  All
+        three return bitwise-identical results.
+    sparse_density_threshold:
+        ``auto`` routes to the sparse kernel when
+        ``mean(|candidates_q|) / |union|`` is below this.  The sparse
+        kernel pays gather traffic per pair, so the break-even sits
+        around 1/3 candidate density.
+    simulated_io_iops:
+        When set, the shard fan-out models each simulated disk as
+        serving this many page reads per second (see
+        :class:`~repro.storage.io_stats.IOCostModel`): every fan-out
+        task sleeps out its charged pages' latency, which parallel
+        workers overlap like real independent disks.  ``None`` (default)
+        keeps I/O free, matching the rest of the simulated stack.
     """
 
     n_partitions: Optional[int] = None
@@ -61,6 +90,10 @@ class BrePartitionConfig:
     seed: Optional[int] = None
     n_shards: int = 1
     refinement_block_size: Optional[int] = None
+    shard_workers: int = 1
+    refine_kernel: str = "auto"
+    sparse_density_threshold: float = 0.3
+    simulated_io_iops: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_partitions is not None and self.n_partitions < 1:
@@ -76,6 +109,21 @@ class BrePartitionConfig:
         if self.refinement_block_size is not None and self.refinement_block_size < 1:
             raise InvalidParameterError(
                 "refinement_block_size must be >= 1 (or None for auto)"
+            )
+        if self.shard_workers < 1:
+            raise InvalidParameterError("shard_workers must be >= 1")
+        if self.refine_kernel not in REFINE_KERNELS:
+            raise InvalidParameterError(
+                f"refine_kernel must be one of {REFINE_KERNELS}, "
+                f"got {self.refine_kernel!r}"
+            )
+        if not 0.0 <= self.sparse_density_threshold <= 1.0:
+            raise InvalidParameterError(
+                "sparse_density_threshold must be in [0, 1]"
+            )
+        if self.simulated_io_iops is not None and self.simulated_io_iops <= 0:
+            raise InvalidParameterError(
+                "simulated_io_iops must be positive (or None to disable)"
             )
 
     def make_strategy(self, rng) -> PartitionStrategy:

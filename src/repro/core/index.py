@@ -32,6 +32,7 @@ from ..exceptions import (
     NotDecomposableError,
     NotFittedError,
 )
+from ..exec.executor import ShardExecutor
 from ..partitioning.optimizer import (
     CostModelParams,
     calibrate_cost_model,
@@ -39,7 +40,7 @@ from ..partitioning.optimizer import (
 )
 from ..storage.buffer_pool import BufferPool
 from ..storage.datastore import DataStore
-from ..storage.io_stats import DiskAccessTracker
+from ..storage.io_stats import DiskAccessTracker, IOCostModel
 from ..storage.sharded import ShardedDataStore
 from .config import BrePartitionConfig
 from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
@@ -122,6 +123,10 @@ class BrePartitionIndex:
         self.construction_seconds: float = 0.0
         self._points: Optional[np.ndarray] = None
         self._refine_conditioner = None
+        #: kernel ("dense"/"sparse") and per-shard seconds of the most
+        #: recent batch refinement, surfaced through BatchQueryStats.
+        self._last_refine_kernel: Optional[str] = None
+        self._last_shard_seconds: Optional[list] = None
 
     # ------------------------------------------------------------------
     # construction (Algorithm 5)
@@ -359,13 +364,22 @@ class BrePartitionIndex:
                 )
 
         # Refinement: charge the batch's page union once, then score all
-        # (candidate, query) pairs through one blocked cross-divergence
-        # kernel over I/O-free reads (the vectors' pages are paid).
-        coalesced_pages = self.datastore.charge_pages_for(candidates)
-        pages_per_shard = getattr(self.datastore, "last_charge_per_shard", None)
-        if pages_per_shard is not None:
-            pages_per_shard = list(pages_per_shard)
-        refined = self._refine_batch(candidates, queries, k)
+        # (candidate, query) pairs through the adaptive kernel (dense
+        # blocked or sparse grouped) over I/O-free reads.  On a sharded
+        # store, charging and scoring fan out per shard through the
+        # ShardExecutor so shard I/O overlaps slab scoring.
+        self._last_shard_seconds = None
+        if isinstance(self.datastore, ShardedDataStore):
+            refined, coalesced_pages = self._refine_batch_fanout(
+                candidates, queries, k
+            )
+            pages_per_shard = list(self.datastore.last_charge_per_shard)
+            fanout_workers = self.config.shard_workers
+        else:
+            coalesced_pages = self.datastore.charge_pages_for(candidates)
+            pages_per_shard = None
+            refined = self._refine_batch(candidates, queries, k)
+            fanout_workers = 1  # no fan-out on a single-disk store
         results: list[SearchResult] = []
         unshared_pages = 0
         total_candidates = 0
@@ -402,6 +416,9 @@ class BrePartitionIndex:
             cpu_seconds=elapsed,
             n_queries=n_queries,
             n_candidates=total_candidates,
+            refine_kernel=self._last_refine_kernel,
+            shard_workers=fanout_workers,
+            shard_seconds=self._last_shard_seconds,
         )
         return BatchSearchResult(results=results, stats=batch_stats)
 
@@ -431,6 +448,36 @@ class BrePartitionIndex:
             values = values * conditioner.factor
         return values
 
+    def _score_refinement_grouped(
+        self,
+        vectors: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
+    ) -> np.ndarray:
+        """Sparse analogue of :meth:`_score_refinement`: score only the
+        listed (vector, query) pairs.
+
+        Applies the same conditioner and output factor, and the grouped
+        kernel's pair values are bitwise equal to the dense kernel's
+        matrix entries, so routing a query through this path instead of
+        the dense one cannot change a single bit of its scores.
+        """
+        conditioner = self._refine_conditioner
+        if conditioner is not None:
+            vectors = conditioner.transform(vectors)
+            queries = conditioner.transform(queries)
+        values = self.divergence.cross_divergence_grouped(
+            vectors,
+            queries,
+            point_index,
+            query_index,
+            pair_block=self.config.refinement_block_for(1, vectors.shape[1]),
+        )
+        if conditioner is not None and conditioner.factor != 1.0:
+            values = values * conditioner.factor
+        return values
+
     def _rerank_topk(
         self,
         ids: np.ndarray,
@@ -449,63 +496,266 @@ class BrePartitionIndex:
         uses, at ``O(buffer * d)`` per query.  ``gather(positions)``
         materialises candidate vectors for positions into ``ids``;
         every path passes a fresh contiguous gather of the same rows,
-        so single, looped, and blocked refinement rerank identical
-        arrays and stay bitwise-equal.  Ties resolve by ascending id
-        (``ids`` is sorted, positions are sorted back before scoring).
+        so single, looped, blocked and fanned-out refinement rerank
+        identical arrays and stay bitwise-equal.  Ties resolve by
+        ascending id (``ids`` is sorted, positions are sorted back
+        before scoring).
+
+        The buffer is *adaptive*: reranking the preselection also
+        measures the expansion kernel's noise floor on this query -- the
+        largest |expansion - direct| disagreement over the buffer.  When
+        more candidates tie within that floor of the preselection
+        boundary than the buffer holds, any of them could be a true
+        neighbour the noisy preselection ranked out, so the buffer grows
+        to cover the tie set and reranks again instead of silently
+        risking a dropped result.  On well-conditioned data the measured
+        floor is ~ulp-sized and the loop exits first pass; in the worst
+        case the rerank degrades to a direct-kernel scan of all
+        candidates, which is exactly the safe fallback.
         """
         buffer = min(ids.size, max(2 * k, k + _RERANK_BUFFER))
-        pre = np.sort(_top_k_stable(scores, buffer))
-        exact = self.divergence.batch_divergence(gather(pre), query)
+        while True:
+            pre = np.sort(_top_k_stable(scores, buffer))
+            exact = self.divergence.batch_divergence(gather(pre), query)
+            if buffer >= ids.size:
+                break
+            noise = float(np.max(np.abs(scores[pre] - exact)))
+            boundary = float(np.max(scores[pre]))
+            tied = int(np.count_nonzero(scores <= boundary + noise))
+            if tied <= buffer:
+                break
+            buffer = min(ids.size, max(tied, 2 * buffer))
         order = _top_k_stable(exact, k)
         return ids[pre][order], exact[order]
 
-    def _refine_batch(
-        self, candidates: list, queries: np.ndarray, k: int
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Blocked exact refinement: one (union x batch) kernel pass.
-
-        Gathers the batch's candidate union once, scores every
-        (candidate, query) pair with the divergence's broadcasted
-        :meth:`~repro.divergences.base.DecomposableBregmanDivergence.cross_divergence`
-        kernel in blocks of union rows (``config.refinement_block_size``
-        bounds the ``(block, B, d)`` intermediate), then extracts each
-        query's top k from its candidate rows via ``np.argpartition``.
-
-        Bitwise contract: returns exactly what
-        :meth:`_refine_batch_looped` returns -- the cross kernel's
-        columns are bitwise independent of batch composition and
-        blocking, and ties resolve by ascending id through the shared
-        :func:`_top_k_stable`.  Pages must already be charged; reads go
-        through ``peek``.
-        """
-        n_queries = len(candidates)
+    def _union_rows(self, candidates: list) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate union (sorted global ids) and global-id -> row map."""
         member = np.zeros(self.transforms.n_points, dtype=bool)
         for ids in candidates:
             member[ids] = True
         union = np.flatnonzero(member)
-        if union.size == 0 or n_queries == 0:
-            empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
-            return [empty for _ in range(n_queries)]
         row_of = np.empty(self.transforms.n_points, dtype=int)
         row_of[union] = np.arange(union.size)
+        return union, row_of
 
-        vectors = self.datastore.peek(union)
-        block = self.config.refinement_block_for(n_queries, vectors.shape[1])
-        cross = np.empty((union.size, n_queries), dtype=float)
-        for lo in range(0, union.size, block):
-            hi = min(lo + block, union.size)
-            cross[lo:hi] = self._score_refinement(vectors[lo:hi], queries)
+    def _choose_refine_kernel(
+        self, candidates: list, union_size: int, n_queries: int
+    ) -> str:
+        """Adaptive dispatch between the dense and sparse kernels.
 
+        The dense (union x batch) kernel scores every cell whether or
+        not it is a real (candidate, query) pair; when per-query
+        candidate sets are small or skewed relative to the union its
+        advantage inverts (the B=256 regime in the pre-rewrite
+        ``BENCH_refinement.json``).  ``auto`` routes to the sparse
+        grouped kernel when the mean per-query candidate density over
+        the union drops below ``config.sparse_density_threshold``.
+        Both kernels produce bitwise-identical scores, so the choice is
+        purely a performance decision.
+        """
+        mode = self.config.refine_kernel
+        if mode != "auto":
+            return mode
+        if union_size == 0 or n_queries == 0:
+            return "dense"
+        total_pairs = sum(int(ids.size) for ids in candidates)
+        density = total_pairs / (union_size * n_queries)
+        return "sparse" if density < self.config.sparse_density_threshold else "dense"
+
+    @staticmethod
+    def _build_pairs(
+        candidates: list, row_of: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten candidate sets into (pair_rows, pair_queries, offsets).
+
+        Pairs are query-major: query ``q``'s scores land in
+        ``flat[offsets[q]:offsets[q + 1]]``, in candidate order.
+        """
+        sizes = np.array([ids.size for ids in candidates], dtype=int)
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        if offsets[-1] == 0:
+            return np.empty(0, dtype=int), np.empty(0, dtype=int), offsets
+        pair_rows = np.concatenate([row_of[ids] for ids in candidates])
+        pair_queries = np.repeat(np.arange(len(candidates)), sizes)
+        return pair_rows, pair_queries, offsets
+
+    def _rerank_all(
+        self,
+        candidates: list,
+        queries: np.ndarray,
+        k: int,
+        vectors: np.ndarray,
+        row_of: np.ndarray,
+        scores_of,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-query final top-k over union-ordered scores and vectors.
+
+        ``scores_of(q, rows)`` returns query ``q``'s expansion scores in
+        candidate order (dense column gather or sparse flat slice); the
+        one rerank loop both refinement layouts share, so the bitwise
+        single/batch parity contract has a single implementation to
+        break.
+        """
         refined = []
         for q, ids in enumerate(candidates):
             rows = row_of[ids]
-            scores = cross[rows, q]
             refined.append(
                 self._rerank_topk(
-                    ids, scores, queries[q], k, lambda sel: vectors[rows[sel]]
+                    ids,
+                    scores_of(q, rows),
+                    queries[q],
+                    k,
+                    lambda sel: vectors[rows[sel]],
                 )
             )
         return refined
+
+    def _make_executor(self) -> ShardExecutor:
+        """Fan-out executor from the config (workers + optional IO model)."""
+        io_model = None
+        if self.config.simulated_io_iops is not None:
+            io_model = IOCostModel(
+                page_size_bytes=self.config.page_size_bytes,
+                iops=self.config.simulated_io_iops,
+            )
+        return ShardExecutor(self.config.shard_workers, io_model=io_model)
+
+    def _refine_batch(
+        self, candidates: list, queries: np.ndarray, k: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Exact batch refinement on a single-disk store.
+
+        Gathers the batch's candidate union once, scores it through the
+        kernel the adaptive dispatcher picks -- dense blocked
+        (``config.refinement_block_size`` bounds the ``(block, B)``
+        slabs) or sparse grouped (only real (candidate, query) pairs,
+        bucketed gathers) -- then extracts each query's top k.
+
+        Bitwise contract: returns exactly what
+        :meth:`_refine_batch_looped` returns under *any* kernel choice
+        -- dense columns are bitwise independent of batch composition
+        and blocking, sparse pair values are bitwise equal to the dense
+        entries, and ties resolve by ascending id through the shared
+        :func:`_top_k_stable`.  Pages must already be charged; reads go
+        through ``peek``.
+        """
+        n_queries = len(candidates)
+        union, row_of = self._union_rows(candidates)
+        if union.size == 0 or n_queries == 0:
+            self._last_refine_kernel = None
+            empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
+            return [empty for _ in range(n_queries)]
+        kernel = self._choose_refine_kernel(candidates, union.size, n_queries)
+        self._last_refine_kernel = kernel
+
+        vectors = self.datastore.peek(union)
+        if kernel == "sparse":
+            pair_rows, pair_queries, offsets = self._build_pairs(candidates, row_of)
+            flat = self._score_refinement_grouped(
+                vectors, queries, pair_rows, pair_queries
+            )
+            scores_of = lambda q, rows: flat[offsets[q] : offsets[q + 1]]
+        else:
+            block = self.config.refinement_block_for(n_queries, vectors.shape[1])
+            cross = np.empty((union.size, n_queries), dtype=float)
+            for lo in range(0, union.size, block):
+                hi = min(lo + block, union.size)
+                cross[lo:hi] = self._score_refinement(vectors[lo:hi], queries)
+            scores_of = lambda q, rows: cross[rows, q]
+
+        return self._rerank_all(candidates, queries, k, vectors, row_of, scores_of)
+
+    def _refine_batch_fanout(
+        self, candidates: list, queries: np.ndarray, k: int
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray]], int]:
+        """Parallel shard fan-out: charge, fetch and score per shard.
+
+        One :class:`~repro.exec.ShardExecutor` task per shard charges
+        the shard's slice of the batch's page union, waits out any
+        modeled device latency, peeks its slab of union rows and scores
+        it the moment it lands (dense blocked over the slab's rows, or
+        the slab's share of sparse pairs) -- so shard I/O overlaps
+        refinement instead of barriering on the full union.  Tasks
+        scatter into disjoint slices of union-ordered outputs, and every
+        kernel is row/pair-bitwise independent, so results are
+        bit-for-bit identical to :meth:`_refine_batch` for any worker
+        count.  Returns ``(refined, coalesced_pages)``; the per-shard
+        page split lands in ``datastore.last_charge_per_shard`` and task
+        timings in ``self._last_shard_seconds``.
+        """
+        store = self.datastore
+        n_queries = len(candidates)
+        union, row_of = self._union_rows(candidates)
+        plan = store.shard_charge_plan(candidates)
+        splits = store.shard_split(union)
+        kernel = self._choose_refine_kernel(candidates, union.size, n_queries)
+        self._last_refine_kernel = kernel if union.size and n_queries else None
+        executor = self._make_executor()
+
+        dim = store.dimensionality
+        vectors = np.empty((union.size, dim), dtype=float)
+        if kernel == "sparse":
+            pair_rows, pair_queries, offsets = self._build_pairs(candidates, row_of)
+            flat = np.empty(pair_rows.size, dtype=float)
+            # union row -> row within its shard's slab, for pair gathers
+            slab_pos = np.empty(union.size, dtype=int)
+            for positions, _ in splits:
+                slab_pos[positions] = np.arange(positions.size)
+            pair_shard = (
+                store.shard_of[union[pair_rows]]
+                if pair_rows.size
+                else np.empty(0, dtype=int)
+            )
+        else:
+            block = self.config.refinement_block_for(n_queries, dim)
+            cross = np.empty((union.size, n_queries), dtype=float)
+
+        def make_task(s: int):
+            positions, local_rows = splits[s]
+            if kernel == "sparse":
+                pair_sel = np.flatnonzero(pair_shard == s)
+
+            def task():
+                # modeled latency is paid only on pages that actually hit
+                # the simulated disk: the shard tracker's delta excludes
+                # buffer-pool hits and query-scope dedup, while the
+                # returned (pool-oblivious) count feeds pages_coalesced
+                tracker = store.shard_trackers[s]
+                read_before = tracker.total_pages_read
+                pages = store.charge_shard(s, plan[s])
+                executor.io_wait(tracker.total_pages_read - read_before)
+                if positions.size:
+                    slab = store.shards[s].peek(local_rows)
+                    vectors[positions] = slab
+                    if kernel == "sparse":
+                        if pair_sel.size:
+                            flat[pair_sel] = self._score_refinement_grouped(
+                                slab,
+                                queries,
+                                slab_pos[pair_rows[pair_sel]],
+                                pair_queries[pair_sel],
+                            )
+                    else:
+                        for lo in range(0, positions.size, block):
+                            hi = min(lo + block, positions.size)
+                            cross[positions[lo:hi]] = self._score_refinement(
+                                slab[lo:hi], queries
+                            )
+                return pages
+
+            return task
+
+        store.begin_charge()
+        pages, seconds = executor.run([make_task(s) for s in range(store.n_shards)])
+        self._last_shard_seconds = seconds
+        coalesced_pages = int(sum(pages))
+
+        if kernel == "sparse":
+            scores_of = lambda q, rows: flat[offsets[q] : offsets[q + 1]]
+        else:
+            scores_of = lambda q, rows: cross[rows, q]
+        refined = self._rerank_all(candidates, queries, k, vectors, row_of, scores_of)
+        return refined, coalesced_pages
 
     def _refine_batch_looped(
         self, candidates: list, queries: np.ndarray, k: int

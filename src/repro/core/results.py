@@ -67,7 +67,11 @@ class BatchQueryStats:
     On a sharded datastore ``pages_read_per_shard`` records how the
     coalesced working set fanned out across the simulated disks (its
     entries sum to ``pages_coalesced``); it stays ``None`` on a
-    single-disk store.
+    single-disk store.  ``shard_seconds`` records each fan-out task's
+    wall-clock time (fetch + slab scoring); with ``shard_workers > 1``
+    tasks overlap, so their sum can exceed ``cpu_seconds``.
+    ``refine_kernel`` is the kernel the adaptive dispatcher actually
+    ran (``"dense"`` or ``"sparse"``), whatever the configured mode.
     """
 
     #: simulated pages actually charged (after any buffer pool).
@@ -84,6 +88,12 @@ class BatchQueryStats:
     n_queries: int = 0
     #: total candidates refined across the batch.
     n_candidates: int = 0
+    #: refinement kernel the dispatcher chose ("dense" or "sparse").
+    refine_kernel: Optional[str] = None
+    #: thread-pool width the fan-out ran with (1 = sequential).
+    shard_workers: int = 1
+    #: per-shard fan-out task seconds (fetch + score; sharded only).
+    shard_seconds: Optional[List[float]] = None
 
     @property
     def pages_saved(self) -> int:

@@ -17,6 +17,7 @@ from .base import (
     POSITIVE_REALS,
     DecomposableBregmanDivergence,
     RefinementConditioner,
+    pair_contract,
 )
 
 __all__ = ["ItakuraSaito", "BurgEntropy"]
@@ -71,6 +72,26 @@ class ItakuraSaito(DecomposableBregmanDivergence):
             - points.shape[1]
         )
         return np.maximum(values, 0.0)
+
+    # grouped kernel: mirrors the <x, 1/q> - log x + log q - d expansion
+    # above term-for-term so pair values match the dense matrix bitwise.
+    def _grouped_terms(self, points: np.ndarray, queries: np.ndarray) -> tuple:
+        return (
+            np.sum(np.log(points), axis=1),
+            1.0 / queries,
+            np.sum(np.log(queries), axis=1),
+        )
+
+    def _grouped_pairs(
+        self, terms, points, queries, point_index, query_index
+    ) -> np.ndarray:
+        log_x, inv_q, log_q = terms
+        return (
+            pair_contract(points, inv_q, point_index, query_index)
+            - log_x[point_index]
+            + log_q[query_index]
+            - points.shape[1]
+        )
 
 
 #: The Burg-entropy divergence *is* the Itakura-Saito distance; the paper

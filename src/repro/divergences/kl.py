@@ -29,6 +29,7 @@ from .base import (
     POSITIVE_REALS,
     DecomposableBregmanDivergence,
     RefinementConditioner,
+    pair_contract,
 )
 
 __all__ = ["GeneralizedKL", "SimplexKL"]
@@ -85,6 +86,27 @@ class GeneralizedKL(DecomposableBregmanDivergence):
             + np.sum(queries, axis=1)[None, :]
         )
         return np.maximum(values, 0.0)
+
+    # grouped kernel: mirrors the x log x - <x, log q> - x + q expansion
+    # above term-for-term so pair values match the dense matrix bitwise.
+    def _grouped_terms(self, points: np.ndarray, queries: np.ndarray) -> tuple:
+        return (
+            np.sum(points * np.log(points), axis=1),
+            np.log(queries),
+            np.sum(points, axis=1),
+            np.sum(queries, axis=1),
+        )
+
+    def _grouped_pairs(
+        self, terms, points, queries, point_index, query_index
+    ) -> np.ndarray:
+        xlogx, log_q, sum_x, sum_q = terms
+        return (
+            xlogx[point_index]
+            - pair_contract(points, log_q, point_index, query_index)
+            - sum_x[point_index]
+            + sum_q[query_index]
+        )
 
 
 class SimplexKL(GeneralizedKL):

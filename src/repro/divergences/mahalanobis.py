@@ -29,6 +29,7 @@ from .base import (
     BregmanDivergence,
     DecomposableBregmanDivergence,
     RefinementConditioner,
+    pair_contract,
 )
 
 __all__ = ["DiagonalMahalanobis", "MahalanobisDivergence"]
@@ -94,6 +95,26 @@ class DiagonalMahalanobis(DecomposableBregmanDivergence):
             + np.einsum("bj,bj,j->b", queries, queries, self.weights)[None, :]
         )
         return np.maximum(0.5 * values, 0.0)
+
+    # grouped kernel: mirrors the weighted expansion above term-for-term
+    # (including the trailing 0.5 scale) for bitwise pair parity.
+    def _grouped_terms(self, points: np.ndarray, queries: np.ndarray) -> tuple:
+        return (
+            np.einsum("nj,nj,j->n", points, points, self.weights),
+            self.weights * queries,
+            np.einsum("bj,bj,j->b", queries, queries, self.weights),
+        )
+
+    def _grouped_pairs(
+        self, terms, points, queries, point_index, query_index
+    ) -> np.ndarray:
+        xx, weighted_q, qq = terms
+        values = (
+            xx[point_index]
+            - 2.0 * pair_contract(points, weighted_q, point_index, query_index)
+            + qq[query_index]
+        )
+        return 0.5 * values
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DiagonalMahalanobis(d={self.weights.size})"

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import REALS, DecomposableBregmanDivergence, RefinementConditioner
+from .base import (
+    REALS,
+    DecomposableBregmanDivergence,
+    RefinementConditioner,
+    pair_contract,
+)
 
 __all__ = ["SquaredEuclidean"]
 
@@ -60,3 +65,21 @@ class SquaredEuclidean(DecomposableBregmanDivergence):
             + np.einsum("bj,bj->b", queries, queries)[None, :]
         )
         return np.maximum(values, 0.0)
+
+    # grouped kernel: mirrors the ||x||^2 - 2<x,q> + ||q||^2 expansion
+    # above term-for-term so pair values match the dense matrix bitwise.
+    def _grouped_terms(self, points: np.ndarray, queries: np.ndarray) -> tuple:
+        return (
+            np.einsum("nj,nj->n", points, points),
+            np.einsum("bj,bj->b", queries, queries),
+        )
+
+    def _grouped_pairs(
+        self, terms, points, queries, point_index, query_index
+    ) -> np.ndarray:
+        xx, qq = terms
+        return (
+            xx[point_index]
+            - 2.0 * pair_contract(points, queries, point_index, query_index)
+            + qq[query_index]
+        )

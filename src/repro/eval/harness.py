@@ -15,6 +15,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..baselines.linear_scan import brute_force_knn
+from ..core.config import REFINE_KERNELS
 from ..core.results import SearchResult
 from ..exceptions import InvalidParameterError
 from ..datasets.loader import Dataset
@@ -105,6 +106,8 @@ def run_workload(
     with_accuracy: bool = True,
     batch_size: int | None = None,
     shards: int | None = None,
+    shard_workers: int | None = None,
+    refine_kernel: str | None = None,
 ) -> WorkloadResult:
     """Run the dataset's query workload and aggregate metrics.
 
@@ -121,6 +124,14 @@ def run_workload(
     indexes without one are rejected).  Batch runs then record the
     per-shard fan-out of the coalesced page reads in
     ``extras["shard_pages_read"]``.
+
+    ``shard_workers`` sets the fan-out thread-pool width on the index's
+    config (sharded batch runs overlap per-shard fetch + scoring; see
+    :mod:`repro.exec`), and ``refine_kernel`` pins the batch refinement
+    kernel (``auto``/``dense``/``sparse``).  Both require an index with
+    a :class:`~repro.core.config.BrePartitionConfig`; neither changes
+    results, only how they are computed, and batch runs record the
+    kernel actually used in ``extras["refine_kernel"]``.
     """
     if shards is not None:
         if not hasattr(index, "reshard"):
@@ -129,6 +140,28 @@ def run_workload(
                 "(no reshard method)"
             )
         index.reshard(shards)
+    config = getattr(index, "config", None)
+    if shard_workers is not None:
+        if config is None or not hasattr(config, "shard_workers"):
+            raise InvalidParameterError(
+                f"index {type(index).__name__} has no shard-worker pool"
+            )
+        if shard_workers < 1:
+            raise InvalidParameterError(
+                f"shard_workers must be >= 1, got {shard_workers}"
+            )
+        config.shard_workers = int(shard_workers)
+    if refine_kernel is not None:
+        if config is None or not hasattr(config, "refine_kernel"):
+            raise InvalidParameterError(
+                f"index {type(index).__name__} has no refinement-kernel dispatch"
+            )
+        if refine_kernel not in REFINE_KERNELS:
+            raise InvalidParameterError(
+                f"refine_kernel must be one of {REFINE_KERNELS}, "
+                f"got {refine_kernel!r}"
+            )
+        config.refine_kernel = refine_kernel
 
     queries = dataset.queries
     if n_queries is not None:
@@ -139,6 +172,7 @@ def run_workload(
     batched_pages_unshared = 0
     batched_pages_coalesced = 0
     shard_pages: list[int] | None = None
+    kernels_used: list[str] = []
     for query, (result, batch_stats) in zip(
         queries, _iter_results(index, queries, k, batch_size)
     ):
@@ -146,6 +180,11 @@ def run_workload(
             batched_pages += batch_stats.pages_read
             batched_pages_unshared += batch_stats.pages_read_unshared
             batched_pages_coalesced += batch_stats.pages_coalesced
+            if (
+                batch_stats.refine_kernel is not None
+                and batch_stats.refine_kernel not in kernels_used
+            ):
+                kernels_used.append(batch_stats.refine_kernel)
             if batch_stats.pages_read_per_shard is not None:
                 if shard_pages is None:
                     shard_pages = [0] * len(batch_stats.pages_read_per_shard)
@@ -186,8 +225,14 @@ def run_workload(
         }
         if shard_pages is not None:
             extras["shard_pages_read"] = shard_pages
+        if kernels_used:
+            # auto dispatch can flip between batches (candidate density
+            # differs per chunk); report every kernel that ran
+            extras["refine_kernel"] = "+".join(kernels_used)
     if shards is not None:
         extras["shards"] = shards
+    if shard_workers is not None:
+        extras["shard_workers"] = shard_workers
 
     return WorkloadResult(
         method=method_name if method_name is not None else type(index).__name__,

@@ -1,0 +1,45 @@
+"""Parallel query execution: the shard fan-out engine.
+
+The batch engine's per-shard candidate fetches are embarrassingly
+parallel -- each shard owns a disjoint slice of the candidate union, its
+own simulated disk file and its own mirrored
+:class:`~repro.storage.io_stats.DiskAccessTracker` -- but until this
+subsystem they ran strictly sequentially.  :class:`ShardExecutor` fans
+them out across a configurable thread pool
+(:attr:`~repro.core.config.BrePartitionConfig.shard_workers`).
+
+The overlap pipeline
+--------------------
+
+One fan-out task per shard does the full fetch-and-score slice of the
+refinement stage:
+
+1. **charge** the shard's distinct candidate pages
+   (:meth:`~repro.storage.sharded.ShardedDataStore.charge_shard`, the
+   per-shard tracker mirroring into the shared aggregate under locks so
+   totals still sum exactly);
+2. **wait** out the modeled device latency for those pages when an
+   :class:`~repro.storage.io_stats.IOCostModel` is configured
+   (``time.sleep`` releases the GIL, so shard I/O waits overlap each
+   other *and* the scoring below -- exactly like outstanding reads on
+   independent disks);
+3. **score** the shard's slab of union rows through the refinement
+   kernel (dense blocked or sparse grouped) the moment the slab lands,
+   scattering results into disjoint rows of the union-ordered output.
+
+Because scoring rides inside each task, a completed shard slab is handed
+to the scorer as soon as its future resolves -- no barrier on the full
+union -- and NumPy kernels release the GIL, so fetch latency of slow
+shards hides under the arithmetic of fast ones.  With one worker the
+executor degrades to an inline loop: the *sequential fan-out* baseline
+that ``benchmarks/bench_parallel_fanout.py`` measures against.
+
+Determinism: tasks write to disjoint output slices and every kernel is
+row/pair-bitwise independent, so results are bit-for-bit identical for
+any worker count -- the single/batch parity contract survives
+parallelism untouched.
+"""
+
+from .executor import ShardExecutor
+
+__all__ = ["ShardExecutor"]

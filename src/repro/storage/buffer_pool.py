@@ -8,6 +8,7 @@ to no pool) but useful for ablations on warm-cache behaviour.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from ..exceptions import InvalidParameterError
@@ -16,7 +17,19 @@ __all__ = ["BufferPool"]
 
 
 class BufferPool:
-    """Fixed-capacity LRU cache of ``(fileno, page)`` keys."""
+    """Fixed-capacity LRU cache of ``(fileno, page)`` keys.
+
+    ``access`` is serialised by a lock: the pool is shared by every
+    shard of a :class:`~repro.storage.sharded.ShardedDataStore`, whose
+    fetches may run on parallel :class:`~repro.exec.ShardExecutor`
+    worker threads.  The lock keeps counters and the LRU structure
+    consistent, but when the pool is small enough to *evict* during a
+    parallel fan-out, recency order -- and therefore which pages hit on
+    later accesses -- depends on thread interleaving, exactly like a
+    real shared cache.  Accounting determinism across runs is only
+    guaranteed with no pool, a pool too large to evict, or
+    ``shard_workers=1``.
+    """
 
     def __init__(self, capacity_pages: int) -> None:
         if capacity_pages <= 0:
@@ -25,6 +38,7 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self._lru: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self._lock = threading.Lock()
 
     def access(self, fileno: int, page: int) -> bool:
         """Touch a page; returns ``True`` on a cache hit.
@@ -33,15 +47,16 @@ class BufferPool:
         when at capacity.
         """
         key = (fileno, page)
-        if key in self._lru:
-            self._lru.move_to_end(key)
-            self.hits += 1
-            return True
-        self.misses += 1
-        self._lru[key] = None
-        if len(self._lru) > self.capacity_pages:
-            self._lru.popitem(last=False)
-        return False
+        with self._lock:
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return True
+            self.misses += 1
+            self._lru[key] = None
+            if len(self._lru) > self.capacity_pages:
+                self._lru.popitem(last=False)
+            return False
 
     @property
     def hit_rate(self) -> float:

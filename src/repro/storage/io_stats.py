@@ -7,6 +7,12 @@ query (re-touching a page already read during the same query is free --
 this is precisely the data-reuse effect PCCP and the BB-forest layout are
 designed to exploit), and global counters accumulate across queries.
 
+Charging is thread-safe: a per-tracker lock serialises the
+read/dedup/count sequence so that the parallel shard fan-out
+(:mod:`repro.exec`) can mirror shard charges into a shared aggregate
+tracker from several worker threads while per-shard totals still sum
+exactly to the aggregate total.
+
 An optional :class:`IOCostModel` converts page counts into estimated
 seconds using a configurable IOPS figure, mirroring the paper's
 discussion of SSD IOPS in Section 5.1.
@@ -14,6 +20,7 @@ discussion of SSD IOPS in Section 5.1.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Set
 
@@ -46,6 +53,7 @@ class DiskAccessTracker:
         self._query_pages: Set[tuple[int, int]] = set()
         self._query_reads = 0
         self._query_writes = 0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # query lifecycle
@@ -76,15 +84,20 @@ class DiskAccessTracker:
         Inside a query scope, re-reads of the same ``(fileno, page)`` are
         free (simulating the OS page cache within one query's working
         set).  Outside a scope every call is charged.
+
+        The dedup-then-count sequence runs under the tracker's lock, so
+        concurrent shard workers charging disjoint pages never lose an
+        increment and the dedup decision stays exact.
         """
-        if self._in_query:
-            key = (fileno, page)
-            if key in self._query_pages:
-                return False
-            self._query_pages.add(key)
-            self._query_reads += 1
-        self.total_pages_read += 1
-        return True
+        with self._lock:
+            if self._in_query:
+                key = (fileno, page)
+                if key in self._query_pages:
+                    return False
+                self._query_pages.add(key)
+                self._query_reads += 1
+            self.total_pages_read += 1
+            return True
 
     def read_pages(self, fileno: int, pages: Iterable[int]) -> int:
         """Charge several pages; returns how many were actually charged."""
@@ -92,9 +105,10 @@ class DiskAccessTracker:
 
     def write_page(self, fileno: int, page: int) -> None:
         """Charge a page write (used by index construction)."""
-        if self._in_query:
-            self._query_writes += 1
-        self.total_pages_written += 1
+        with self._lock:
+            if self._in_query:
+                self._query_writes += 1
+            self.total_pages_written += 1
 
     # ------------------------------------------------------------------
     # reporting

@@ -235,6 +235,55 @@ class ShardedDataStore:
                 store.charge_pages_for([local])
         return self.peek(ids)
 
+    def shard_charge_plan(
+        self, id_groups: Sequence[Sequence[int]]
+    ) -> List[List[np.ndarray]]:
+        """Route a batch's candidate groups into per-shard local groups.
+
+        Entry ``s`` holds the shard-local row groups that
+        :meth:`charge_shard` would charge on shard ``s`` -- the unit of
+        work the :class:`~repro.exec.ShardExecutor` fans out, one task
+        per shard.
+        """
+        local_groups: List[List[np.ndarray]] = [[] for _ in range(self.n_shards)]
+        for ids in id_groups:
+            for s, _, _, local in self._route(np.asarray(ids, dtype=int)):
+                local_groups[s].append(local)
+        return local_groups
+
+    def charge_shard(self, shard: int, local_groups: Sequence[Sequence[int]]) -> int:
+        """Charge one shard's slice of the batch's page union.
+
+        Records the count in :attr:`last_charge_per_shard` (callers
+        fanning out reset the list first via :meth:`begin_charge`).
+        Thread-safe with respect to other shards: each shard writes its
+        own list slot, and the underlying trackers lock internally.
+        """
+        pages = self.shards[shard].charge_pages_for(local_groups)
+        self.last_charge_per_shard[shard] = pages
+        return pages
+
+    def begin_charge(self) -> None:
+        """Reset the per-shard fan-out record before a set of
+        :meth:`charge_shard` calls (one batch's worth)."""
+        self.last_charge_per_shard = [0] * self.n_shards
+
+    def shard_split(self, point_ids: Sequence[int]):
+        """Split global ids by shard: ``(positions, local_rows)`` per shard.
+
+        ``positions`` are indices into ``point_ids`` (ascending) of the
+        ids living on that shard and ``local_rows`` their row indices in
+        the shard's store -- what a fan-out task needs to ``peek`` its
+        slab and scatter results back into union-ordered arrays.
+        """
+        ids = np.asarray(point_ids, dtype=int)
+        shard_of = self.shard_of[ids]
+        splits = []
+        for s in range(self.n_shards):
+            positions = np.flatnonzero(shard_of == s)
+            splits.append((positions, self._local[ids[positions]]))
+        return splits
+
     def charge_pages_for(self, id_groups: Sequence[Sequence[int]]) -> int:
         """Fan the batch's page-union charge out across the shards.
 
@@ -243,16 +292,9 @@ class ShardedDataStore:
         :attr:`last_charge_per_shard`.  Returns the total distinct page
         count (pool-oblivious, like the unsharded store).
         """
-        local_groups: List[List[np.ndarray]] = [[] for _ in range(self.n_shards)]
-        for ids in id_groups:
-            for s, _, _, local in self._route(np.asarray(ids, dtype=int)):
-                local_groups[s].append(local)
-        per_shard = [
-            store.charge_pages_for(local_groups[s])
-            for s, store in enumerate(self.shards)
-        ]
-        self.last_charge_per_shard = per_shard
-        return sum(per_shard)
+        plan = self.shard_charge_plan(id_groups)
+        self.begin_charge()
+        return sum(self.charge_shard(s, plan[s]) for s in range(self.n_shards))
 
     def scan(self) -> np.ndarray:
         """Read every shard file fully; returns points in logical order."""

@@ -98,6 +98,69 @@ class TestCrossDivergenceParity:
         assert np.all(np.diag(cross[:6]) <= 1e-8)
 
 
+class TestGroupedKernelParity:
+    """The sparse (grouped) kernel must reproduce dense entries bitwise:
+    ``cross_divergence_grouped(p, q, pi, qi)[j] ==
+    cross_divergence(p, q)[pi[j], qi[j]]`` for every divergence, any
+    pair order, any pair blocking -- the contract that lets the index
+    route refinement through either kernel without changing one bit."""
+
+    @pytest.mark.parametrize("name,divergence", all_decomposable_divergences(DIM))
+    def test_grouped_matches_dense_bitwise(self, name, divergence):
+        points = points_for(divergence, 90, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        dense = divergence.cross_divergence(points, queries)
+        rng = np.random.default_rng(3)
+        pi = rng.integers(0, 90, size=400)
+        qi = rng.integers(0, N_QUERIES, size=400)
+        grouped = divergence.cross_divergence_grouped(points, queries, pi, qi)
+        np.testing.assert_array_equal(grouped, dense[pi, qi])
+
+    @pytest.mark.parametrize("pair_block", [1, 7, 64, None])
+    def test_pair_block_invariance(self, pair_block):
+        divergence = ItakuraSaito()
+        points = points_for(divergence, 70, DIM, seed=4)
+        queries = points_for(divergence, 6, DIM, seed=5)
+        rng = np.random.default_rng(6)
+        pi = rng.integers(0, 70, size=150)
+        qi = rng.integers(0, 6, size=150)
+        blocked = divergence.cross_divergence_grouped(
+            points, queries, pi, qi, pair_block=pair_block
+        )
+        reference = divergence.cross_divergence(points, queries)[pi, qi]
+        np.testing.assert_array_equal(blocked, reference)
+
+    def test_empty_pairs(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 10, DIM, seed=7)
+        out = divergence.cross_divergence_grouped(
+            points, points[:3], np.empty(0, dtype=int), np.empty(0, dtype=int)
+        )
+        assert out.shape == (0,)
+
+    def test_rejects_mismatched_indices(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 10, DIM, seed=7)
+        with pytest.raises(ValueError, match="equal length"):
+            divergence.cross_divergence_grouped(
+                points, points[:3], np.arange(4), np.arange(3)
+            )
+
+    def test_non_decomposable_fallback_gathers_dense(self):
+        from repro import MahalanobisDivergence
+
+        rng = np.random.default_rng(8)
+        divergence = MahalanobisDivergence(np.eye(5) + 0.1)
+        points = rng.normal(size=(20, 5))
+        queries = rng.normal(size=(4, 5))
+        pi = rng.integers(0, 20, size=30)
+        qi = rng.integers(0, 4, size=30)
+        np.testing.assert_array_equal(
+            divergence.cross_divergence_grouped(points, queries, pi, qi),
+            divergence.cross_divergence(points, queries)[pi, qi],
+        )
+
+
 class TestBoundaryInputs:
     """Near-zero coordinates stress the log/ratio terms of KL and ISD."""
 
@@ -344,6 +407,92 @@ class TestLargeMagnitudeConditioning:
         np.testing.assert_array_equal(result.divergences, oracle)
         assert result.divergences[1] == pytest.approx(9e-8, rel=1e-3)
         assert result.divergences[2] == pytest.approx(9e-6, rel=1e-3)
+        batch = index.search_batch(query[None, :], 3)
+        np.testing.assert_array_equal(batch[0].ids, result.ids)
+        np.testing.assert_array_equal(batch[0].divergences, result.divergences)
+
+    def test_exponential_conditioner_max_subtraction_on_spread_data(self):
+        # ED has an exact additive invariance that *rescales*:
+        # D(x - s, q - s) = e^{-s} D(x, q).  Subtracting the dataset max
+        # (the softmax clamp) evaluates the expansion kernel with its
+        # dominant e^{t-s} factors <= 1 and small linear coefficients,
+        # recovering accuracy the raw kernel loses on offset data.
+        from repro import ExponentialDistance
+
+        divergence = ExponentialDistance()
+        rng = np.random.default_rng(42)
+        d = 16
+        points = rng.uniform(97.0, 100.0, size=(50, d))
+        queries = points[:6].copy()
+        deltas = [3e-6, 1e-5, 3e-5]
+        for i, delta in enumerate(deltas):
+            queries[i, 0] += delta
+        queries = queries[: len(deltas)]
+        reference = np.stack(
+            [divergence.batch_divergence(points, q) for q in queries], axis=1
+        )
+        conditioner = divergence.refinement_conditioner(points)
+        assert conditioner.shift == pytest.approx(points.max())
+        assert conditioner.factor == pytest.approx(np.exp(points.max()))
+        conditioned = (
+            divergence.cross_divergence(
+                conditioner.transform(points), conditioner.transform(queries)
+            )
+            * conditioner.factor
+        )
+        raw = divergence.cross_divergence(points, queries)
+        for i in range(len(deltas)):
+            true = reference[i, i]  # the near-duplicate pair
+            raw_err = abs(raw[i, i] - true) / true
+            cond_err = abs(conditioned[i, i] - true) / true
+            # observed: conditioning buys ~2 orders of magnitude; assert
+            # a 5x improvement and absolute accuracy with wide margins
+            assert cond_err < 0.2 * raw_err
+            assert cond_err < 5e-3
+
+    def test_exponential_conditioner_exact_on_moderate_data(self):
+        # on in-regime data the conditioner is a pure no-op up to
+        # rounding: shifted evaluation times e^s equals the reference
+        from repro import ExponentialDistance
+
+        divergence = ExponentialDistance()
+        points = points_for(divergence, 40, DIM, seed=27)
+        queries = points_for(divergence, 5, DIM, seed=28)
+        conditioner = divergence.refinement_conditioner(points)
+        conditioned = (
+            divergence.cross_divergence(
+                conditioner.transform(points), conditioner.transform(queries)
+            )
+            * conditioner.factor
+        )
+        reference = np.stack(
+            [divergence.batch_divergence(points, q) for q in queries], axis=1
+        )
+        np.testing.assert_allclose(conditioned, reference, rtol=1e-9, atol=1e-12)
+
+    def test_exponential_index_ranks_offset_near_duplicates(self):
+        # end to end: the index must rank near-duplicates on offset data
+        # exactly and report oracle-identical divergences (conditioned
+        # preselection + direct-kernel rerank)
+        from repro import ExponentialDistance, brute_force_knn
+
+        rng = np.random.default_rng(42)
+        d = 16
+        points = rng.uniform(97.0, 100.0, size=(60, d))
+        points[1] = points[0]
+        points[1, 0] += 1e-5
+        points[2] = points[0]
+        points[2, 0] += 2e-5
+        query = points[0].copy()
+        index = BrePartitionIndex(
+            ExponentialDistance(), BrePartitionConfig(n_partitions=2, seed=0)
+        ).build(points)
+        result = index.search(query, 3)
+        oracle_ids, oracle_divs = brute_force_knn(
+            ExponentialDistance(), points, query, 3
+        )
+        np.testing.assert_array_equal(result.ids, oracle_ids)
+        np.testing.assert_array_equal(result.divergences, oracle_divs)
         batch = index.search_batch(query[None, :], 3)
         np.testing.assert_array_equal(batch[0].ids, result.ids)
         np.testing.assert_array_equal(batch[0].divergences, result.divergences)
