@@ -21,6 +21,9 @@ Subpackages
 ``storage``      Simulated disk, I/O accounting, buffer pool.
 ``bbtree``       BB-trees and the BB-forest.
 ``core``         The BrePartition index and its approximate extension.
+``pipeline``     The staged Plan/Fetch/Refine/Rerank search engine.
+``exec``         Thread-pool shard fan-out with modeled I/O latency.
+``serve``        Asyncio micro-batching serving layer.
 ``vafile``       The "VAF" baseline.
 ``baselines``    Linear scan, disk BBT, and "Var".
 ``datasets``     Paper synthetics and laptop-scale proxies.

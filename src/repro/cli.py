@@ -11,6 +11,10 @@ Subcommands
 ``experiment``
     Run one of the paper's tables/figures and print the report
     (same engine as ``benchmarks/run_all.py``).
+``serve-bench``
+    Closed-loop micro-batched serving benchmark: compare per-request
+    (B=1) serving against the asyncio :class:`~repro.serve.MicroBatcher`
+    under modeled I/O (same engine as ``benchmarks/bench_serve.py``).
 """
 
 from __future__ import annotations
@@ -87,6 +91,33 @@ def _build_parser() -> argparse.ArgumentParser:
 
     experiment = sub.add_parser("experiment", help="reproduce a paper table/figure")
     experiment.add_argument("name", choices=sorted(ALL_EXPERIMENTS))
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="closed-loop micro-batching benchmark (per-request vs batched)",
+    )
+    serve.add_argument("dataset", choices=available_datasets())
+    serve.add_argument("--n", type=int, default=600, help="dataset size")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--clients", type=int, default=64, help="concurrent closed-loop clients")
+    serve.add_argument("--requests", type=int, default=2, help="requests per client")
+    serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="B",
+        help="micro-batch size cap (the baseline always runs B=1)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batch accumulation deadline in milliseconds",
+    )
+    serve.add_argument(
+        "--iops", type=float, default=4000.0,
+        help="modeled page reads/second per simulated disk (0 disables)",
+    )
+    serve.add_argument("--shards", type=int, default=1, help="simulated disks")
+    serve.add_argument(
+        "--shard-workers", type=int, default=1, help="fan-out threads per batch"
+    )
+    serve.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -197,6 +228,13 @@ def _cmd_search(args) -> int:
             f"batch mode: B={args.batch}, coalesced I/O saved "
             f"{saved} page reads across {result.n_queries} queries"
         )
+        stage_seconds = result.extras.get("stage_seconds")
+        if stage_seconds:
+            split = "  ".join(
+                f"{name} {seconds * 1000.0:.1f}ms"
+                for name, seconds in stage_seconds.items()
+            )
+            print(f"batch stage time: {split}")
     if args.shards is not None:
         fanout = result.extras.get("shard_pages_read")
         workers = args.shard_workers if args.shard_workers is not None else 1
@@ -217,6 +255,67 @@ def _cmd_experiment(name: str) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from .serve import make_serving_index, run_closed_loop
+
+    for name, value, floor in (
+        ("--n", args.n, 2),
+        ("--k", args.k, 1),
+        ("--clients", args.clients, 1),
+        ("--requests", args.requests, 1),
+        ("--max-batch", args.max_batch, 1),
+        ("--shards", args.shards, 1),
+        ("--shard-workers", args.shard_workers, 1),
+    ):
+        if value < floor:
+            print(f"{name} must be >= {floor}, got {value}", file=sys.stderr)
+            return 2
+    if args.max_wait_ms < 0.0:
+        print(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}", file=sys.stderr)
+        return 2
+    dataset, index = make_serving_index(
+        dataset_name=args.dataset,
+        n=args.n,
+        seed=args.seed,
+        n_shards=args.shards,
+        shard_workers=args.shard_workers,
+        iops=args.iops if args.iops > 0 else None,
+    )
+    print(f"dataset: {dataset!r} ({dataset.description})")
+    print(
+        f"serving {args.clients} closed-loop clients x {args.requests} requests, "
+        f"k={args.k}, modeled "
+        + (f"{args.iops:.0f} IOPS/disk" if args.iops > 0 else "free I/O")
+    )
+    arms = [
+        ("per-request (B=1)", 1, 0.0),
+        (f"micro-batched (B<={args.max_batch})", args.max_batch, args.max_wait_ms),
+    ]
+    rows = []
+    for label, max_batch, wait_ms in arms:
+        row = run_closed_loop(
+            index,
+            dataset.queries,
+            args.k,
+            n_clients=args.clients,
+            requests_per_client=args.requests,
+            max_batch_size=max_batch,
+            max_wait_ms=wait_ms,
+        )
+        rows.append(row)
+        print(
+            f"  {label:24s} {row['throughput_rps']:8.1f} req/s  "
+            f"mean latency {row['mean_latency_ms']:7.2f}ms  "
+            f"mean batch {row['mean_batch_size']:5.1f}  "
+            f"pages/req {row['mean_pages_per_request']:6.1f}"
+        )
+    print(
+        f"micro-batching speedup: "
+        f"{rows[1]['throughput_rps'] / rows[0]['throughput_rps']:.2f}x throughput"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``brepartition`` console script."""
     args = _build_parser().parse_args(argv)
@@ -226,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_search(args)
     if args.command == "experiment":
         return _cmd_experiment(args.name)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     return 1  # pragma: no cover - argparse enforces choices
 
 

@@ -8,14 +8,15 @@ Build pipeline (:meth:`BrePartitionIndex.build`, Algorithm 5):
    disk in the seed tree's leaf order;
 4. precompute the per-subspace point tuples ``P(x) = (alpha, gamma)``.
 
-Search pipeline (:meth:`BrePartitionIndex.search`, Algorithm 6):
-
-1. split the query, compute the M triples ``Q(y)`` (Algorithm 3);
-2. compute the ``(n, M)`` Theorem-1 bound matrix and the k-th smallest
-   total bound; its components are the subspace radii (Algorithm 4);
-3. run the M range queries, union the candidates (Theorem 3);
-4. fetch candidates from disk (charging simulated I/O), evaluate exact
-   divergences, return the top k.
+Search pipeline (Algorithm 6): both :meth:`BrePartitionIndex.search`
+and :meth:`BrePartitionIndex.search_batch` are thin drivers over the
+staged pipeline in :mod:`repro.pipeline` -- Plan (bounds, radii, forest
+traversal), Fetch (page-union charging, shard fan-out), Refine
+(dense/sparse/auto expansion kernels) and Rerank (direct-kernel top-k)
+each transform one shared :class:`~repro.pipeline.QueryBatchContext`.
+The drivers only validate inputs, scope the I/O tracker, run the stage
+list, and fold the finished context into result records (per-stage wall
+time lands in ``stats.stage_seconds``).
 """
 
 from __future__ import annotations
@@ -38,45 +39,17 @@ from ..partitioning.optimizer import (
     calibrate_cost_model,
     optimal_partitions,
 )
+from ..pipeline import QueryBatchContext, SearchPipeline
+from ..pipeline.rerank import top_k_stable as _top_k_stable  # noqa: F401 - re-export
 from ..storage.buffer_pool import BufferPool
 from ..storage.datastore import DataStore
 from ..storage.io_stats import DiskAccessTracker, IOCostModel
 from ..storage.sharded import ShardedDataStore
 from .config import BrePartitionConfig
 from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
-from .transforms import (
-    SubspaceTransforms,
-    determine_search_bounds,
-    determine_search_bounds_batch,
-    pad_radii,
-)
+from .transforms import SubspaceTransforms
 
 __all__ = ["BrePartitionIndex"]
-
-#: extra candidates (beyond k) preselected by the fast expansion kernel
-#: and re-scored with the direct kernel before the final top-k.
-_RERANK_BUFFER = 16
-
-
-def _top_k_stable(values: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the ``k`` smallest values, ties broken by lowest index.
-
-    Equivalent to ``np.argsort(values, kind="stable")[:k]`` without
-    sorting the full array: ``np.argpartition`` isolates the k smallest,
-    and only the entries tied with the k-th smallest value join the
-    final stable sort (so boundary ties still resolve by index).  Both
-    the per-query and the blocked batch refinement select through this
-    one helper, which is what makes their tie-breaking identical.
-    """
-    k_eff = min(k, values.size)
-    if k_eff == 0:
-        return np.empty(0, dtype=int)
-    if values.size > k_eff:
-        part = np.argpartition(values, k_eff - 1)[:k_eff]
-        pool = np.flatnonzero(values <= values[part].max())
-    else:
-        pool = np.arange(values.size)
-    return pool[np.argsort(values[pool], kind="stable")][:k_eff]
 
 
 class BrePartitionIndex:
@@ -123,10 +96,9 @@ class BrePartitionIndex:
         self.construction_seconds: float = 0.0
         self._points: Optional[np.ndarray] = None
         self._refine_conditioner = None
-        #: kernel ("dense"/"sparse") and per-shard seconds of the most
-        #: recent batch refinement, surfaced through BatchQueryStats.
-        self._last_refine_kernel: Optional[str] = None
-        self._last_shard_seconds: Optional[list] = None
+        #: the staged Plan -> Fetch -> Refine -> Rerank engine both
+        #: search drivers (and the serving layer) run.
+        self.pipeline = SearchPipeline(self)
 
     # ------------------------------------------------------------------
     # construction (Algorithm 5)
@@ -216,7 +188,7 @@ class BrePartitionIndex:
             raise NotFittedError("BrePartitionIndex.build() must be called first")
 
     # ------------------------------------------------------------------
-    # search (Algorithm 6)
+    # search drivers (Algorithm 6 over the staged pipeline)
     # ------------------------------------------------------------------
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:
@@ -231,76 +203,24 @@ class BrePartitionIndex:
 
         self.tracker.start_query()
         start = time.perf_counter()
-
-        # Filter: Theorem-1 bounds -> Algorithm 4 radii.
-        triples = self.transforms.query_triples(query)
-        ub_matrix = self.transforms.upper_bound_matrix(triples)
-        search_bounds = determine_search_bounds(ub_matrix, k)
-        exact_radii = pad_radii(search_bounds.radii)
-        radii = pad_radii(self._adjust_radii(search_bounds, triples))
-
-        sub_queries = self.partitioning.split(query)
-        candidates, forest_stats = self.forest.range_union(
-            sub_queries, radii, point_filter=self.config.point_filter
-        )
-        candidates, forest_stats = self._widen_if_short(
-            sub_queries, radii, exact_radii, k, candidates, forest_stats
-        )
-
-        # Refinement: fetch candidates (charged I/O), preselect with the
-        # fast cross kernel (B=1; its columns are bitwise independent of
-        # batch composition, so search and search_batch agree
-        # bit-for-bit), then rerank the short list with the direct
-        # kernel for well-conditioned final values.
-        vectors = self.datastore.fetch(candidates)
-        scores = self._score_refinement(vectors, query[None, :])[:, 0]
-        top_ids, exact = self._rerank_topk(
-            candidates, scores, query, k, lambda sel: vectors[sel]
-        )
-
+        ctx = QueryBatchContext(queries=query[None, :], k=k, single=True)
+        self.pipeline.run(ctx)
         elapsed = time.perf_counter() - start
         snapshot = self.tracker.end_query()
+
+        candidates = ctx.candidates[0]
+        top_ids, exact = ctx.refined[0]
         stats = QueryStats(
             pages_read=snapshot.pages_read,
             cpu_seconds=elapsed,
             n_candidates=int(candidates.size),
-            search_bound=search_bounds.total,
-            per_subspace_candidates=forest_stats.per_subspace_candidates,
-            leaves_visited=forest_stats.leaves_visited,
+            search_bound=float(ctx.bound_totals[0]),
+            per_subspace_candidates=ctx.forest_stats[0].per_subspace_candidates,
+            leaves_visited=ctx.forest_stats[0].leaves_visited,
             points_evaluated=int(candidates.size),
+            stage_seconds=dict(ctx.stage_seconds),
         )
         return SearchResult(ids=top_ids, divergences=exact, stats=stats)
-
-    def _widen_if_short(self, sub_queries, radii, exact_radii, k, candidates, forest_stats):
-        """Recover >= k candidates when adjusted radii were too aggressive.
-
-        Bisects the interpolation between the adjusted and the exact
-        radii (which Theorem 3 guarantees yield >= k candidates) for the
-        smallest widening that returns at least k.  Exact search radii
-        equal the exact radii, so this is a no-op there.
-        """
-        if candidates.size >= k or np.array_equal(radii, exact_radii):
-            return candidates, forest_stats
-        lo, hi = 0.0, 1.0
-        best = self.forest.range_union(
-            sub_queries, exact_radii, point_filter=self.config.point_filter
-        )
-        for _ in range(8):
-            mid = 0.5 * (lo + hi)
-            mid_radii = radii + mid * (exact_radii - radii)
-            attempt = self.forest.range_union(
-                sub_queries, mid_radii, point_filter=self.config.point_filter
-            )
-            if attempt[0].size >= k:
-                best = attempt
-                hi = mid
-            else:
-                lo = mid
-        return best
-
-    # ------------------------------------------------------------------
-    # batched search (vectorized Algorithm 6)
-    # ------------------------------------------------------------------
 
     def search_batch(self, queries: np.ndarray, k: int) -> BatchSearchResult:
         """Exact kNN for a batch of queries in one vectorized pass.
@@ -311,17 +231,22 @@ class BrePartitionIndex:
 
         * the ``(B, n, M)`` Theorem-1 bound tensor is one broadcasted
           NumPy expression, and all per-query radii come from a single
-          ``np.argpartition`` over the ``(B, n)`` totals (Algorithm 4);
+          ``np.argpartition`` over the ``(B, n)`` totals (Plan);
         * each BB-tree is traversed once for the whole batch, testing a
           node's ball against every active query in one vectorized
-          bisection;
+          bisection (Plan);
         * candidate vectors are fetched with page reads coalesced across
-          queries, so overlapping candidate pages are charged once.
+          queries -- fanned out per shard on a sharded store -- so
+          overlapping candidate pages are charged once (Fetch);
+        * all (candidate, query) pairs are scored through the adaptive
+          dense/sparse kernel and reranked with the direct kernel
+          (Refine, Rerank).
 
         Returns a :class:`BatchSearchResult`; ``result[b]`` is query
         ``b``'s :class:`SearchResult`.  Per-query ``pages_read`` reports
         what that query would have paid alone, while the batch-level
-        stats report the coalesced total actually charged.
+        stats report the coalesced total actually charged, with the
+        per-stage wall-time split in ``stats.stage_seconds``.
         """
         self._require_built()
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
@@ -339,114 +264,60 @@ class BrePartitionIndex:
 
         self.tracker.start_query()
         start = time.perf_counter()
+        ctx = QueryBatchContext(queries=queries, k=k)
+        self.pipeline.run(ctx)
+        elapsed = time.perf_counter() - start
+        snapshot = self.tracker.end_query()
 
-        # Filter: one vectorized pass for bounds, radii and traversal.
-        triples = self.transforms.query_triples_batch(queries)
-        ub_tensor = self.transforms.upper_bound_tensor(triples)
-        search_bounds = determine_search_bounds_batch(ub_tensor, k)
-        exact_radii = pad_radii(search_bounds.radii)
-        radii = pad_radii(self._adjust_radii_batch(search_bounds, triples))
-
-        sub_matrices = self.partitioning.split_matrix(queries)
-        candidates, forest_stats = self.forest.range_union_batch(
-            sub_matrices, radii, point_filter=self.config.point_filter
-        )
-        for q in range(n_queries):
-            if candidates[q].size < k:
-                sub_queries = [mat[q] for mat in sub_matrices]
-                candidates[q], forest_stats[q] = self._widen_if_short(
-                    sub_queries,
-                    radii[q],
-                    exact_radii[q],
-                    k,
-                    candidates[q],
-                    forest_stats[q],
-                )
-
-        # Refinement: charge the batch's page union once, then score all
-        # (candidate, query) pairs through the adaptive kernel (dense
-        # blocked or sparse grouped) over I/O-free reads.  On a sharded
-        # store, charging and scoring fan out per shard through the
-        # ShardExecutor so shard I/O overlaps slab scoring.
-        self._last_shard_seconds = None
-        if isinstance(self.datastore, ShardedDataStore):
-            refined, coalesced_pages = self._refine_batch_fanout(
-                candidates, queries, k
-            )
-            pages_per_shard = list(self.datastore.last_charge_per_shard)
-            fanout_workers = self.config.shard_workers
-        else:
-            coalesced_pages = self.datastore.charge_pages_for(candidates)
-            pages_per_shard = None
-            refined = self._refine_batch(candidates, queries, k)
-            fanout_workers = 1  # no fan-out on a single-disk store
         results: list[SearchResult] = []
         unshared_pages = 0
         total_candidates = 0
+        per_query_seconds = elapsed / n_queries if n_queries else 0.0
         for q in range(n_queries):
-            ids = candidates[q]
-            top_ids, top_divergences = refined[q]
+            ids = ctx.candidates[q]
+            top_ids, top_divergences = ctx.refined[q]
             solo_pages = self.datastore.count_pages_of(ids)
             unshared_pages += solo_pages
             total_candidates += int(ids.size)
             stats = QueryStats(
                 pages_read=solo_pages,
-                cpu_seconds=0.0,  # filled below; ranking is cheap
+                cpu_seconds=per_query_seconds,
                 n_candidates=int(ids.size),
-                search_bound=float(search_bounds.totals[q]),
-                per_subspace_candidates=forest_stats[q].per_subspace_candidates,
-                leaves_visited=forest_stats[q].leaves_visited,
+                search_bound=float(ctx.bound_totals[q]),
+                per_subspace_candidates=ctx.forest_stats[q].per_subspace_candidates,
+                leaves_visited=ctx.forest_stats[q].leaves_visited,
                 points_evaluated=int(ids.size),
             )
             results.append(
                 SearchResult(ids=top_ids, divergences=top_divergences, stats=stats)
             )
 
-        elapsed = time.perf_counter() - start
-        snapshot = self.tracker.end_query()
-        if n_queries:
-            per_query_seconds = elapsed / n_queries
-            for result in results:
-                result.stats.cpu_seconds = per_query_seconds
+        sharded = isinstance(self.datastore, ShardedDataStore)
         batch_stats = BatchQueryStats(
             pages_read=snapshot.pages_read,
             pages_read_unshared=unshared_pages,
-            pages_coalesced=coalesced_pages,
-            pages_read_per_shard=pages_per_shard,
+            pages_coalesced=ctx.pages_coalesced,
+            pages_read_per_shard=ctx.pages_per_shard,
             cpu_seconds=elapsed,
             n_queries=n_queries,
             n_candidates=total_candidates,
-            refine_kernel=self._last_refine_kernel,
-            shard_workers=fanout_workers,
-            shard_seconds=self._last_shard_seconds,
+            refine_kernel=ctx.refine_kernel,
+            shard_workers=self.config.shard_workers if sharded else 1,
+            shard_seconds=ctx.shard_seconds,
+            stage_seconds=dict(ctx.stage_seconds),
+            cross_batch_hits=ctx.cross_batch_hits,
         )
         return BatchSearchResult(results=results, stats=batch_stats)
 
     # ------------------------------------------------------------------
-    # refinement kernels
+    # stage delegates (benchmarks, kernel-parity tests, subclass hooks)
     # ------------------------------------------------------------------
 
     def _score_refinement(
         self, vectors: np.ndarray, queries: np.ndarray
     ) -> np.ndarray:
-        """Exact ``(n, B)`` divergences of every (vector, query) pair.
-
-        Routes through the divergence's expansion-form cross kernel,
-        first applying its :class:`RefinementConditioner` (centring /
-        scaling into the well-conditioned regime) and folding the
-        conditioner's output factor back in.  Conditioning is
-        elementwise, so scoring a row subset or block is bitwise
-        identical to slicing a full scoring -- the parity the blocked
-        and per-query paths rely on.
-        """
-        conditioner = self._refine_conditioner
-        if conditioner is not None:
-            vectors = conditioner.transform(vectors)
-            queries = conditioner.transform(queries)
-        values = self.divergence.cross_divergence(vectors, queries)
-        if conditioner is not None and conditioner.factor != 1.0:
-            values = values * conditioner.factor
-        return values
+        """Conditioned ``(n, B)`` expansion-kernel scores (Refine stage)."""
+        return self.pipeline.stage("refine").score_dense(vectors, queries)
 
     def _score_refinement_grouped(
         self,
@@ -455,28 +326,18 @@ class BrePartitionIndex:
         point_index: np.ndarray,
         query_index: np.ndarray,
     ) -> np.ndarray:
-        """Sparse analogue of :meth:`_score_refinement`: score only the
-        listed (vector, query) pairs.
-
-        Applies the same conditioner and output factor, and the grouped
-        kernel's pair values are bitwise equal to the dense kernel's
-        matrix entries, so routing a query through this path instead of
-        the dense one cannot change a single bit of its scores.
-        """
-        conditioner = self._refine_conditioner
-        if conditioner is not None:
-            vectors = conditioner.transform(vectors)
-            queries = conditioner.transform(queries)
-        values = self.divergence.cross_divergence_grouped(
-            vectors,
-            queries,
-            point_index,
-            query_index,
-            pair_block=self.config.refinement_block_for(1, vectors.shape[1]),
+        """Conditioned sparse pair scores (Refine stage)."""
+        return self.pipeline.stage("refine").score_sparse(
+            vectors, queries, point_index, query_index
         )
-        if conditioner is not None and conditioner.factor != 1.0:
-            values = values * conditioner.factor
-        return values
+
+    def _choose_refine_kernel(
+        self, candidates: list, union_size: int, n_queries: int
+    ) -> str:
+        """Adaptive dense/sparse dispatch (Refine stage)."""
+        return self.pipeline.stage("refine").choose_kernel(
+            candidates, union_size, n_queries
+        )
 
     def _rerank_topk(
         self,
@@ -486,126 +347,42 @@ class BrePartitionIndex:
         k: int,
         gather,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Final top-k: preselect by expansion score, rerank directly.
+        """Adaptive-buffer direct-kernel top-k (Rerank stage)."""
+        return self.pipeline.stage("rerank").topk(ids, scores, query, k, gather)
 
-        The expansion kernel can lose precision to cancellation when
-        divergence gaps sit below its noise floor, so the k results are
-        drawn from a slightly larger preselected buffer and re-scored
-        with the divergence's direct (well-conditioned)
-        ``batch_divergence`` -- the same formula the brute-force oracle
-        uses, at ``O(buffer * d)`` per query.  ``gather(positions)``
-        materialises candidate vectors for positions into ``ids``;
-        every path passes a fresh contiguous gather of the same rows,
-        so single, looped, blocked and fanned-out refinement rerank
-        identical arrays and stay bitwise-equal.  Ties resolve by
-        ascending id (``ids`` is sorted, positions are sorted back
-        before scoring).
-
-        The buffer is *adaptive*: reranking the preselection also
-        measures the expansion kernel's noise floor on this query -- the
-        largest |expansion - direct| disagreement over the buffer.  When
-        more candidates tie within that floor of the preselection
-        boundary than the buffer holds, any of them could be a true
-        neighbour the noisy preselection ranked out, so the buffer grows
-        to cover the tie set and reranks again instead of silently
-        risking a dropped result.  On well-conditioned data the measured
-        floor is ~ulp-sized and the loop exits first pass; in the worst
-        case the rerank degrades to a direct-kernel scan of all
-        candidates, which is exactly the safe fallback.
-        """
-        buffer = min(ids.size, max(2 * k, k + _RERANK_BUFFER))
-        while True:
-            pre = np.sort(_top_k_stable(scores, buffer))
-            exact = self.divergence.batch_divergence(gather(pre), query)
-            if buffer >= ids.size:
-                break
-            noise = float(np.max(np.abs(scores[pre] - exact)))
-            boundary = float(np.max(scores[pre]))
-            tied = int(np.count_nonzero(scores <= boundary + noise))
-            if tied <= buffer:
-                break
-            buffer = min(ids.size, max(tied, 2 * buffer))
-        order = _top_k_stable(exact, k)
-        return ids[pre][order], exact[order]
-
-    def _union_rows(self, candidates: list) -> tuple[np.ndarray, np.ndarray]:
-        """Candidate union (sorted global ids) and global-id -> row map."""
-        member = np.zeros(self.transforms.n_points, dtype=bool)
-        for ids in candidates:
-            member[ids] = True
-        union = np.flatnonzero(member)
-        row_of = np.empty(self.transforms.n_points, dtype=int)
-        row_of[union] = np.arange(union.size)
-        return union, row_of
-
-    def _choose_refine_kernel(
-        self, candidates: list, union_size: int, n_queries: int
-    ) -> str:
-        """Adaptive dispatch between the dense and sparse kernels.
-
-        The dense (union x batch) kernel scores every cell whether or
-        not it is a real (candidate, query) pair; when per-query
-        candidate sets are small or skewed relative to the union its
-        advantage inverts (the B=256 regime in the pre-rewrite
-        ``BENCH_refinement.json``).  ``auto`` routes to the sparse
-        grouped kernel when the mean per-query candidate density over
-        the union drops below ``config.sparse_density_threshold``.
-        Both kernels produce bitwise-identical scores, so the choice is
-        purely a performance decision.
-        """
-        mode = self.config.refine_kernel
-        if mode != "auto":
-            return mode
-        if union_size == 0 or n_queries == 0:
-            return "dense"
-        total_pairs = sum(int(ids.size) for ids in candidates)
-        density = total_pairs / (union_size * n_queries)
-        return "sparse" if density < self.config.sparse_density_threshold else "dense"
-
-    @staticmethod
-    def _build_pairs(
-        candidates: list, row_of: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Flatten candidate sets into (pair_rows, pair_queries, offsets).
-
-        Pairs are query-major: query ``q``'s scores land in
-        ``flat[offsets[q]:offsets[q + 1]]``, in candidate order.
-        """
-        sizes = np.array([ids.size for ids in candidates], dtype=int)
-        offsets = np.concatenate([[0], np.cumsum(sizes)])
-        if offsets[-1] == 0:
-            return np.empty(0, dtype=int), np.empty(0, dtype=int), offsets
-        pair_rows = np.concatenate([row_of[ids] for ids in candidates])
-        pair_queries = np.repeat(np.arange(len(candidates)), sizes)
-        return pair_rows, pair_queries, offsets
-
-    def _rerank_all(
-        self,
-        candidates: list,
-        queries: np.ndarray,
-        k: int,
-        vectors: np.ndarray,
-        row_of: np.ndarray,
-        scores_of,
+    def _refine_batch(
+        self, candidates: list, queries: np.ndarray, k: int
     ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Per-query final top-k over union-ordered scores and vectors.
+        """Refine + Rerank over already-charged candidates.
 
-        ``scores_of(q, rows)`` returns query ``q``'s expansion scores in
-        candidate order (dense column gather or sparse flat slice); the
-        one rerank loop both refinement layouts share, so the bitwise
-        single/batch parity contract has a single implementation to
-        break.
+        Bitwise contract: returns exactly what
+        :meth:`_refine_batch_looped` returns under *any* kernel choice
+        -- dense columns are bitwise independent of batch composition
+        and blocking, sparse pair values are bitwise equal to the dense
+        entries, and ties resolve by ascending id through the shared
+        stable top-k.  Pages must already be charged; reads go through
+        ``peek``.
+        """
+        return self.pipeline.refine_prefetched(candidates, queries, k).refined
+
+    def _refine_batch_looped(
+        self, candidates: list, queries: np.ndarray, k: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Reference per-query refinement (one kernel call per query,
+        per-query gathers -- the PR 1 loop structure).
+
+        Kept for the bitwise-parity tests and
+        ``benchmarks/bench_refinement_kernel.py``; must return exactly
+        what :meth:`_refine_batch` returns.  Like the staged engine it
+        assumes pages are already charged and reads through ``peek``.
         """
         refined = []
         for q, ids in enumerate(candidates):
-            rows = row_of[ids]
+            vectors = self.datastore.peek(ids)
+            scores = self._score_refinement(vectors, queries[q][None, :])[:, 0]
             refined.append(
                 self._rerank_topk(
-                    ids,
-                    scores_of(q, rows),
-                    queries[q],
-                    k,
-                    lambda sel: vectors[rows[sel]],
+                    ids, scores, queries[q], k, lambda sel: vectors[sel]
                 )
             )
         return refined
@@ -619,165 +396,6 @@ class BrePartitionIndex:
                 iops=self.config.simulated_io_iops,
             )
         return ShardExecutor(self.config.shard_workers, io_model=io_model)
-
-    def _refine_batch(
-        self, candidates: list, queries: np.ndarray, k: int
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Exact batch refinement on a single-disk store.
-
-        Gathers the batch's candidate union once, scores it through the
-        kernel the adaptive dispatcher picks -- dense blocked
-        (``config.refinement_block_size`` bounds the ``(block, B)``
-        slabs) or sparse grouped (only real (candidate, query) pairs,
-        bucketed gathers) -- then extracts each query's top k.
-
-        Bitwise contract: returns exactly what
-        :meth:`_refine_batch_looped` returns under *any* kernel choice
-        -- dense columns are bitwise independent of batch composition
-        and blocking, sparse pair values are bitwise equal to the dense
-        entries, and ties resolve by ascending id through the shared
-        :func:`_top_k_stable`.  Pages must already be charged; reads go
-        through ``peek``.
-        """
-        n_queries = len(candidates)
-        union, row_of = self._union_rows(candidates)
-        if union.size == 0 or n_queries == 0:
-            self._last_refine_kernel = None
-            empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
-            return [empty for _ in range(n_queries)]
-        kernel = self._choose_refine_kernel(candidates, union.size, n_queries)
-        self._last_refine_kernel = kernel
-
-        vectors = self.datastore.peek(union)
-        if kernel == "sparse":
-            pair_rows, pair_queries, offsets = self._build_pairs(candidates, row_of)
-            flat = self._score_refinement_grouped(
-                vectors, queries, pair_rows, pair_queries
-            )
-            scores_of = lambda q, rows: flat[offsets[q] : offsets[q + 1]]
-        else:
-            block = self.config.refinement_block_for(n_queries, vectors.shape[1])
-            cross = np.empty((union.size, n_queries), dtype=float)
-            for lo in range(0, union.size, block):
-                hi = min(lo + block, union.size)
-                cross[lo:hi] = self._score_refinement(vectors[lo:hi], queries)
-            scores_of = lambda q, rows: cross[rows, q]
-
-        return self._rerank_all(candidates, queries, k, vectors, row_of, scores_of)
-
-    def _refine_batch_fanout(
-        self, candidates: list, queries: np.ndarray, k: int
-    ) -> tuple[list[tuple[np.ndarray, np.ndarray]], int]:
-        """Parallel shard fan-out: charge, fetch and score per shard.
-
-        One :class:`~repro.exec.ShardExecutor` task per shard charges
-        the shard's slice of the batch's page union, waits out any
-        modeled device latency, peeks its slab of union rows and scores
-        it the moment it lands (dense blocked over the slab's rows, or
-        the slab's share of sparse pairs) -- so shard I/O overlaps
-        refinement instead of barriering on the full union.  Tasks
-        scatter into disjoint slices of union-ordered outputs, and every
-        kernel is row/pair-bitwise independent, so results are
-        bit-for-bit identical to :meth:`_refine_batch` for any worker
-        count.  Returns ``(refined, coalesced_pages)``; the per-shard
-        page split lands in ``datastore.last_charge_per_shard`` and task
-        timings in ``self._last_shard_seconds``.
-        """
-        store = self.datastore
-        n_queries = len(candidates)
-        union, row_of = self._union_rows(candidates)
-        plan = store.shard_charge_plan(candidates)
-        splits = store.shard_split(union)
-        kernel = self._choose_refine_kernel(candidates, union.size, n_queries)
-        self._last_refine_kernel = kernel if union.size and n_queries else None
-        executor = self._make_executor()
-
-        dim = store.dimensionality
-        vectors = np.empty((union.size, dim), dtype=float)
-        if kernel == "sparse":
-            pair_rows, pair_queries, offsets = self._build_pairs(candidates, row_of)
-            flat = np.empty(pair_rows.size, dtype=float)
-            # union row -> row within its shard's slab, for pair gathers
-            slab_pos = np.empty(union.size, dtype=int)
-            for positions, _ in splits:
-                slab_pos[positions] = np.arange(positions.size)
-            pair_shard = (
-                store.shard_of[union[pair_rows]]
-                if pair_rows.size
-                else np.empty(0, dtype=int)
-            )
-        else:
-            block = self.config.refinement_block_for(n_queries, dim)
-            cross = np.empty((union.size, n_queries), dtype=float)
-
-        def make_task(s: int):
-            positions, local_rows = splits[s]
-            if kernel == "sparse":
-                pair_sel = np.flatnonzero(pair_shard == s)
-
-            def task():
-                # modeled latency is paid only on pages that actually hit
-                # the simulated disk: the shard tracker's delta excludes
-                # buffer-pool hits and query-scope dedup, while the
-                # returned (pool-oblivious) count feeds pages_coalesced
-                tracker = store.shard_trackers[s]
-                read_before = tracker.total_pages_read
-                pages = store.charge_shard(s, plan[s])
-                executor.io_wait(tracker.total_pages_read - read_before)
-                if positions.size:
-                    slab = store.shards[s].peek(local_rows)
-                    vectors[positions] = slab
-                    if kernel == "sparse":
-                        if pair_sel.size:
-                            flat[pair_sel] = self._score_refinement_grouped(
-                                slab,
-                                queries,
-                                slab_pos[pair_rows[pair_sel]],
-                                pair_queries[pair_sel],
-                            )
-                    else:
-                        for lo in range(0, positions.size, block):
-                            hi = min(lo + block, positions.size)
-                            cross[positions[lo:hi]] = self._score_refinement(
-                                slab[lo:hi], queries
-                            )
-                return pages
-
-            return task
-
-        store.begin_charge()
-        pages, seconds = executor.run([make_task(s) for s in range(store.n_shards)])
-        self._last_shard_seconds = seconds
-        coalesced_pages = int(sum(pages))
-
-        if kernel == "sparse":
-            scores_of = lambda q, rows: flat[offsets[q] : offsets[q + 1]]
-        else:
-            scores_of = lambda q, rows: cross[rows, q]
-        refined = self._rerank_all(candidates, queries, k, vectors, row_of, scores_of)
-        return refined, coalesced_pages
-
-    def _refine_batch_looped(
-        self, candidates: list, queries: np.ndarray, k: int
-    ) -> list[tuple[np.ndarray, np.ndarray]]:
-        """Reference per-query refinement (one kernel call per query,
-        per-query gathers -- the PR 1 loop structure).
-
-        Kept for the bitwise-parity tests and
-        ``benchmarks/bench_refinement_kernel.py``; must return exactly
-        what :meth:`_refine_batch` returns.  Like the blocked kernel it
-        assumes pages are already charged and reads through ``peek``.
-        """
-        refined = []
-        for q, ids in enumerate(candidates):
-            vectors = self.datastore.peek(ids)
-            scores = self._score_refinement(vectors, queries[q][None, :])[:, 0]
-            refined.append(
-                self._rerank_topk(
-                    ids, scores, queries[q], k, lambda sel: vectors[sel]
-                )
-            )
-        return refined
 
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:
         """Hook for the approximate extension; exact search returns as-is."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,6 +28,9 @@ class QueryStats:
     leaves_visited: int = 0
     #: points whose exact divergence was evaluated.
     points_evaluated: int = 0
+    #: wall-clock seconds per pipeline stage (plan/fetch/refine/rerank);
+    #: ``None`` for indexes that do not run the staged pipeline.
+    stage_seconds: Optional[Dict[str, float]] = None
 
 
 @dataclass
@@ -72,6 +75,13 @@ class BatchQueryStats:
     tasks overlap, so their sum can exceed ``cpu_seconds``.
     ``refine_kernel`` is the kernel the adaptive dispatcher actually
     ran (``"dense"`` or ``"sparse"``), whatever the configured mode.
+
+    ``stage_seconds`` breaks ``cpu_seconds`` down by pipeline stage
+    (plan / fetch / refine / rerank), and ``cross_batch_hits`` counts
+    the pages this batch read from the buffer pool that an *earlier*
+    batch paid for (``None`` when no pool is attached) -- the
+    cross-batch reuse figure, kept separate from ``pages_saved`` (pure
+    within-batch coalescing) just like pool hits are.
     """
 
     #: simulated pages actually charged (after any buffer pool).
@@ -92,8 +102,12 @@ class BatchQueryStats:
     refine_kernel: Optional[str] = None
     #: thread-pool width the fan-out ran with (1 = sequential).
     shard_workers: int = 1
-    #: per-shard fan-out task seconds (fetch + score; sharded only).
+    #: per-shard fetch-task seconds (charge + wait + peek; sharded only).
     shard_seconds: Optional[List[float]] = None
+    #: wall-clock seconds per pipeline stage (plan/fetch/refine/rerank).
+    stage_seconds: Optional[Dict[str, float]] = None
+    #: buffer-pool hits on pages an earlier batch paid for (None: no pool).
+    cross_batch_hits: Optional[int] = None
 
     @property
     def pages_saved(self) -> int:

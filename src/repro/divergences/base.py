@@ -356,7 +356,12 @@ class DecomposableBregmanDivergence(BregmanDivergence):
         Kept in the well-conditioned direct form (differences before
         reductions): this is the reference kernel for oracles, baselines
         and geometry.  The refinement hot path uses the faster
-        expansion-form :meth:`cross_divergence` instead.
+        expansion-form :meth:`cross_divergence` instead.  The cross-term
+        reduction uses einsum's fixed summation order so each row's
+        value is bitwise independent of how many rows are scored
+        together (a BLAS matvec may switch accumulation patterns with
+        the row count) -- rerank buffers must agree with full-scan
+        oracles bit for bit.
         """
         points = np.atleast_2d(np.asarray(points, dtype=float))
         y = np.asarray(y, dtype=float)
@@ -365,7 +370,7 @@ class DecomposableBregmanDivergence(BregmanDivergence):
         values = (
             np.sum(self.phi(points), axis=1)
             - fy
-            - (points - y) @ grad_y
+            - np.einsum("ij,j->i", points - y, grad_y)
         )
         return np.maximum(values, 0.0)
 

@@ -82,9 +82,13 @@ class DiagonalMahalanobis(DecomposableBregmanDivergence):
     def batch_divergence(self, points: np.ndarray, y: np.ndarray) -> np.ndarray:
         # Direct diff form: well-conditioned at any magnitude (the
         # reference kernel; cross_divergence is the fast expansion).
+        # einsum's fixed summation order keeps each row's value bitwise
+        # independent of how many rows are scored together (a BLAS
+        # matvec may switch accumulation patterns with the row count),
+        # so rerank buffers agree with full-scan oracles bit for bit.
         points = np.atleast_2d(np.asarray(points, dtype=float))
         diff = points - np.asarray(y, dtype=float)
-        return 0.5 * (diff * diff) @ self.weights
+        return 0.5 * np.einsum("ij,ij,j->i", diff, diff, self.weights)
 
     def cross_divergence(self, points: np.ndarray, queries: np.ndarray) -> np.ndarray:
         points = np.atleast_2d(np.asarray(points, dtype=float))

@@ -117,7 +117,10 @@ def run_workload(
     With ``batch_size`` set, queries are driven through the index's
     ``search_batch`` engine in chunks of that size; ``mean_io`` then
     reflects the coalesced pages actually charged per query, and the
-    result's ``extras`` record the batch totals.
+    result's ``extras`` record the batch totals -- including the
+    pipeline's per-stage wall-time split (``extras["stage_seconds"]``,
+    summed over chunks) and, when a buffer pool is attached, the pages
+    reused across batches (``extras["cross_batch_hits"]``).
 
     With ``shards`` set, the index's point file is re-laid across that
     many simulated disks before the workload (via ``index.reshard``;
@@ -173,6 +176,8 @@ def run_workload(
     batched_pages_coalesced = 0
     shard_pages: list[int] | None = None
     kernels_used: list[str] = []
+    stage_totals: dict[str, float] = {}
+    cross_batch_hits: int | None = None
     for query, (result, batch_stats) in zip(
         queries, _iter_results(index, queries, k, batch_size)
     ):
@@ -180,6 +185,15 @@ def run_workload(
             batched_pages += batch_stats.pages_read
             batched_pages_unshared += batch_stats.pages_read_unshared
             batched_pages_coalesced += batch_stats.pages_coalesced
+            if batch_stats.stage_seconds:
+                for stage_name, stage_secs in batch_stats.stage_seconds.items():
+                    stage_totals[stage_name] = (
+                        stage_totals.get(stage_name, 0.0) + stage_secs
+                    )
+            if batch_stats.cross_batch_hits is not None:
+                cross_batch_hits = (
+                    cross_batch_hits or 0
+                ) + batch_stats.cross_batch_hits
             if (
                 batch_stats.refine_kernel is not None
                 and batch_stats.refine_kernel not in kernels_used
@@ -229,6 +243,15 @@ def run_workload(
             # auto dispatch can flip between batches (candidate density
             # differs per chunk); report every kernel that ran
             extras["refine_kernel"] = "+".join(kernels_used)
+        if stage_totals:
+            # where the batch time went, summed over all chunks -- the
+            # pipeline's plan/fetch/refine/rerank wall-clock split
+            extras["stage_seconds"] = {
+                stage_name: round(total, 6)
+                for stage_name, total in stage_totals.items()
+            }
+        if cross_batch_hits is not None:
+            extras["cross_batch_hits"] = cross_batch_hits
     if shards is not None:
         extras["shards"] = shards
     if shard_workers is not None:

@@ -11,8 +11,8 @@ them out across a configurable thread pool
 The overlap pipeline
 --------------------
 
-One fan-out task per shard does the full fetch-and-score slice of the
-refinement stage:
+One fan-out task per shard does the fetch slice of the staged
+pipeline's Fetch stage (:class:`repro.pipeline.FetchStage`):
 
 1. **charge** the shard's distinct candidate pages
    (:meth:`~repro.storage.sharded.ShardedDataStore.charge_shard`, the
@@ -20,17 +20,18 @@ refinement stage:
    totals still sum exactly);
 2. **wait** out the modeled device latency for those pages when an
    :class:`~repro.storage.io_stats.IOCostModel` is configured
-   (``time.sleep`` releases the GIL, so shard I/O waits overlap each
-   other *and* the scoring below -- exactly like outstanding reads on
-   independent disks);
-3. **score** the shard's slab of union rows through the refinement
-   kernel (dense blocked or sparse grouped) the moment the slab lands,
-   scattering results into disjoint rows of the union-ordered output.
+   (``time.sleep`` releases the GIL, so concurrent shard I/O waits
+   overlap each other -- exactly like outstanding reads on independent
+   disks);
+3. **peek** the shard's slab of union rows into disjoint slices of the
+   union-ordered vector array, which the Refine stage then scores as
+   one union slab.
 
-Because scoring rides inside each task, a completed shard slab is handed
-to the scorer as soon as its future resolves -- no barrier on the full
-union -- and NumPy kernels release the GIL, so fetch latency of slow
-shards hides under the arithmetic of fast ones.  With one worker the
+The win is the overlap of step 2 across shards: parallel workers wait
+out all modeled disk latencies together instead of one after another
+(the GIL serialises the NumPy arithmetic either way, so stage-level
+scoring costs the same as the PR-3 engine's score-inside-task layout
+while keeping fetch and refine separately timed).  With one worker the
 executor degrades to an inline loop: the *sequential fan-out* baseline
 that ``benchmarks/bench_parallel_fanout.py`` measures against.
 

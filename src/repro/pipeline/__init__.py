@@ -1,0 +1,51 @@
+"""The staged batch-search pipeline (Plan -> Fetch -> Refine -> Rerank).
+
+ROADMAP "Async serving" groundwork: the monolithic ``search_batch`` body
+is decomposed into four small stage objects transforming one shared
+:class:`QueryBatchContext`:
+
+``Plan``
+    Theorem-1 bound tensor, Algorithm-4 radii (plus the approximate
+    extension's radius-adjustment hook), batched BB-forest traversal and
+    the short-candidate widening recovery.
+``Fetch``
+    Page-union charging and vector materialisation -- coalesced on one
+    disk, fanned out per shard through the
+    :class:`~repro.exec.ShardExecutor` (with modeled I/O latency) on a
+    sharded store.
+``Refine``
+    Adaptive dense/sparse/auto cross-divergence kernel dispatch over the
+    union slab.
+``Rerank``
+    Direct-kernel top-k with the adaptive noise-floor buffer.
+
+:class:`~repro.core.index.BrePartitionIndex.search` and
+``search_batch`` are thin drivers over a :class:`SearchPipeline`; the
+serving layer (:mod:`repro.serve`) and the stage-parity tests call the
+same stages.  Results are bitwise identical to the pre-decomposition
+engine for every divergence, kernel and worker count -- each stage
+preserves the kernels' row/pair bitwise-independence contracts -- and
+each stage's wall-clock time is recorded in
+``BatchQueryStats.stage_seconds``.
+"""
+
+from .base import PipelineStage, SearchPipeline, default_stages
+from .context import QueryBatchContext
+from .fetch import FetchStage, union_rows
+from .plan import PlanStage
+from .refine import RefineStage, build_pairs
+from .rerank import RerankStage, top_k_stable
+
+__all__ = [
+    "QueryBatchContext",
+    "PipelineStage",
+    "SearchPipeline",
+    "default_stages",
+    "PlanStage",
+    "FetchStage",
+    "RefineStage",
+    "RerankStage",
+    "union_rows",
+    "build_pairs",
+    "top_k_stable",
+]

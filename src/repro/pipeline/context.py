@@ -1,0 +1,92 @@
+"""The shared state one search request carries through the pipeline.
+
+A :class:`QueryBatchContext` is created by the drivers in
+:class:`~repro.core.index.BrePartitionIndex` (``search`` builds a
+``single`` context with one query row, ``search_batch`` a batch one) and
+handed to each stage of a :class:`~repro.pipeline.SearchPipeline` in
+turn.  Every stage reads the fields of the stages before it and fills in
+its own; the driver assembles results and statistics records from the
+finished context.  Keeping all intermediate state here -- instead of in
+method locals threaded through one monolithic function -- is what lets
+the serving layer, benchmarks and tests call individual stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["QueryBatchContext"]
+
+
+@dataclass
+class QueryBatchContext:
+    """Mutable state shared by the pipeline stages of one search call.
+
+    The lifecycle mirrors the stage order.  ``Plan`` fills the filter
+    outputs (``candidates`` / ``forest_stats`` / ``bound_totals``),
+    ``Fetch`` the storage outputs (``union`` / ``vectors`` and the page
+    accounting), ``Refine`` the expansion scores, and ``Rerank`` the
+    final per-query ``refined`` top-k pairs.  ``stage_seconds`` is
+    filled by the driver with each stage's wall-clock time.
+    """
+
+    #: query rows, always 2-D ``(B, d)`` (``B = 1`` for single search).
+    queries: np.ndarray
+    #: neighbours requested per query.
+    k: int
+    #: ``True`` when driven by :meth:`BrePartitionIndex.search` -- the
+    #: stages then reproduce the scalar single-query path bit for bit
+    #: (scalar triples, ``range_union``, ``datastore.fetch``).
+    single: bool = False
+
+    # -- Plan outputs ---------------------------------------------------
+    #: per-query candidate id arrays (sorted, unique).
+    candidates: Optional[List[np.ndarray]] = None
+    #: per-query forest traversal statistics.
+    forest_stats: Optional[list] = None
+    #: per-query Theorem-1 searching-bound totals, shape ``(B,)``.
+    bound_totals: Optional[np.ndarray] = None
+
+    # -- Fetch outputs --------------------------------------------------
+    #: sorted union of all candidate ids (batch mode only).
+    union: Optional[np.ndarray] = None
+    #: global id -> row within ``union`` (batch mode only).
+    row_of: Optional[np.ndarray] = None
+    #: candidate vectors -- union-ordered in batch mode, candidate-ordered
+    #: in single mode (matching ``datastore.fetch``).
+    vectors: Optional[np.ndarray] = None
+    #: distinct pages the batch's working set spans (pool-oblivious).
+    pages_coalesced: int = 0
+    #: per-shard split of ``pages_coalesced`` (sharded stores only).
+    pages_per_shard: Optional[List[int]] = None
+    #: per-shard fetch-task wall-clock seconds (sharded stores only).
+    shard_seconds: Optional[List[float]] = None
+    #: pages served from the buffer pool that an *earlier* batch or
+    #: query paid for (``None`` without a pool).
+    cross_batch_hits: Optional[int] = None
+
+    # -- Refine outputs -------------------------------------------------
+    #: kernel the dispatcher ran ("dense"/"sparse"; ``None`` when the
+    #: candidate union was empty).
+    refine_kernel: Optional[str] = None
+    #: expansion scores of query 0's candidates (single mode only).
+    scores: Optional[np.ndarray] = None
+    #: ``scores_of(q, rows)`` -> query ``q``'s expansion scores in
+    #: candidate order (batch mode only).
+    scores_of: Optional[Callable[[int, np.ndarray], np.ndarray]] = None
+
+    # -- Rerank outputs -------------------------------------------------
+    #: per-query ``(top_ids, divergences)`` pairs, ascending divergence.
+    refined: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
+
+    # -- driver bookkeeping ---------------------------------------------
+    #: wall-clock seconds per stage, in stage order.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query rows in the context."""
+        return int(self.queries.shape[0])

@@ -1,0 +1,132 @@
+"""Fetch stage: charge the working set's pages and materialise vectors.
+
+Batch contexts charge the batch's candidate-page union once (the
+coalescing primitive of the batch engine) and peek the union's vectors
+I/O-free.  On a :class:`~repro.storage.sharded.ShardedDataStore` the
+charge-and-peek fans out one :class:`~repro.exec.ShardExecutor` task per
+shard: each task charges its shard's slice of the page union, sleeps out
+any modeled device latency (`BrePartitionConfig.simulated_io_iops`;
+``time.sleep`` releases the GIL, so parallel workers overlap waits like
+independent disks), then peeks its slab into the union-ordered vector
+array.  Single contexts reproduce ``datastore.fetch`` exactly.
+
+The stage also owns the buffer-pool batch epoch: every context bumps
+:meth:`~repro.storage.buffer_pool.BufferPool.begin_batch`, and the pool
+hits this batch scores off pages an *earlier* batch paid for land in
+``ctx.cross_batch_hits``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..storage.io_stats import IOCostModel
+from ..storage.sharded import ShardedDataStore
+from .base import PipelineStage
+from .context import QueryBatchContext
+
+__all__ = ["FetchStage", "union_rows"]
+
+
+def union_rows(
+    candidates: Sequence[np.ndarray], n_points: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Candidate union (sorted global ids) and global-id -> row map."""
+    member = np.zeros(n_points, dtype=bool)
+    for ids in candidates:
+        member[ids] = True
+    union = np.flatnonzero(member)
+    row_of = np.empty(n_points, dtype=int)
+    row_of[union] = np.arange(union.size)
+    return union, row_of
+
+
+class FetchStage(PipelineStage):
+    name = "fetch"
+
+    def run(self, ctx: QueryBatchContext) -> None:
+        pool = self.index.buffer_pool
+        hits_before = pool.cross_batch_hits if pool is not None else 0
+        if pool is not None:
+            pool.begin_batch()
+        if ctx.single:
+            ctx.vectors = self.index.datastore.fetch(ctx.candidates[0])
+        elif isinstance(self.index.datastore, ShardedDataStore):
+            self._fetch_fanout(ctx)
+        else:
+            self._fetch_single_disk(ctx)
+        if pool is not None:
+            ctx.cross_batch_hits = pool.cross_batch_hits - hits_before
+
+    # ------------------------------------------------------------------
+    # batch fetch, one simulated disk
+    # ------------------------------------------------------------------
+
+    def _fetch_single_disk(self, ctx: QueryBatchContext) -> None:
+        index = self.index
+        store = index.datastore
+        ctx.union, ctx.row_of = union_rows(ctx.candidates, index.transforms.n_points)
+        read_before = index.tracker.total_pages_read
+        ctx.pages_coalesced = store.charge_pages_for(ctx.candidates)
+        if index.config.simulated_io_iops is not None:
+            # latency is modeled only on pages that hit the simulated
+            # disk: the tracker delta excludes buffer-pool hits and
+            # query-scope dedup, mirroring the sharded fan-out (which
+            # pays the same model through ShardExecutor.io_wait)
+            io_model = IOCostModel(
+                page_size_bytes=index.config.page_size_bytes,
+                iops=index.config.simulated_io_iops,
+            )
+            charged = index.tracker.total_pages_read - read_before
+            if charged > 0:
+                time.sleep(io_model.seconds_for(charged))
+        ctx.vectors = store.peek(ctx.union)
+
+    # ------------------------------------------------------------------
+    # batch fetch, sharded fan-out
+    # ------------------------------------------------------------------
+
+    def _fetch_fanout(self, ctx: QueryBatchContext) -> None:
+        """One executor task per shard: charge, wait, peek the slab.
+
+        Tasks scatter into disjoint slices of the union-ordered vector
+        array, so the result is bitwise independent of worker count and
+        completion order.  The per-shard page split lands in
+        ``ctx.pages_per_shard`` and task timings in ``ctx.shard_seconds``.
+        """
+        index = self.index
+        store: ShardedDataStore = index.datastore
+        ctx.union, ctx.row_of = union_rows(ctx.candidates, index.transforms.n_points)
+        plan = store.shard_charge_plan(ctx.candidates)
+        splits = store.shard_split(ctx.union)
+        executor = index._make_executor()
+
+        vectors = np.empty((ctx.union.size, store.dimensionality), dtype=float)
+
+        def make_task(s: int):
+            positions, local_rows = splits[s]
+
+            def task():
+                # modeled latency is paid only on pages that actually hit
+                # the simulated disk: the shard tracker's delta excludes
+                # buffer-pool hits and query-scope dedup, while the
+                # returned (pool-oblivious) count feeds pages_coalesced
+                tracker = store.shard_trackers[s]
+                read_before = tracker.total_pages_read
+                pages = store.charge_shard(s, plan[s])
+                executor.io_wait(tracker.total_pages_read - read_before)
+                if positions.size:
+                    vectors[positions] = store.shards[s].peek(local_rows)
+                return pages
+
+            return task
+
+        store.begin_charge()
+        pages, seconds = executor.run([make_task(s) for s in range(store.n_shards)])
+        ctx.vectors = vectors
+        ctx.pages_coalesced = int(sum(pages))
+        ctx.pages_per_shard = list(store.last_charge_per_shard)
+        ctx.shard_seconds = seconds

@@ -1,0 +1,120 @@
+"""Plan stage: Theorem-1 bounds, Algorithm-4 radii, forest traversal.
+
+Covers Algorithm 6 steps 1-3 for the whole context: query triples, the
+bound matrix/tensor, search radii (including the index's
+``_adjust_radii`` / ``_adjust_radii_batch`` hooks, which the approximate
+extension overrides), the BB-forest range-union traversal, and the
+widening recovery when adjusted radii return fewer than ``k``
+candidates.  Batch contexts take the fully vectorised path (one
+``(B, n, M)`` tensor, one ``argpartition``, level-synchronous batch
+traversal); single contexts reproduce the scalar path bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.transforms import (
+    determine_search_bounds,
+    determine_search_bounds_batch,
+    pad_radii,
+)
+from .base import PipelineStage
+from .context import QueryBatchContext
+
+__all__ = ["PlanStage"]
+
+
+class PlanStage(PipelineStage):
+    name = "plan"
+
+    def run(self, ctx: QueryBatchContext) -> None:
+        if ctx.single:
+            self._run_single(ctx)
+        else:
+            self._run_batch(ctx)
+
+    # ------------------------------------------------------------------
+    # scalar path (BrePartitionIndex.search)
+    # ------------------------------------------------------------------
+
+    def _run_single(self, ctx: QueryBatchContext) -> None:
+        index = self.index
+        query = ctx.queries[0]
+        triples = index.transforms.query_triples(query)
+        ub_matrix = index.transforms.upper_bound_matrix(triples)
+        search_bounds = determine_search_bounds(ub_matrix, ctx.k)
+        exact_radii = pad_radii(search_bounds.radii)
+        radii = pad_radii(index._adjust_radii(search_bounds, triples))
+
+        sub_queries = index.partitioning.split(query)
+        candidates, forest_stats = index.forest.range_union(
+            sub_queries, radii, point_filter=index.config.point_filter
+        )
+        candidates, forest_stats = self.widen_if_short(
+            sub_queries, radii, exact_radii, ctx.k, candidates, forest_stats
+        )
+        ctx.candidates = [candidates]
+        ctx.forest_stats = [forest_stats]
+        ctx.bound_totals = np.array([search_bounds.total])
+
+    # ------------------------------------------------------------------
+    # vectorised path (BrePartitionIndex.search_batch)
+    # ------------------------------------------------------------------
+
+    def _run_batch(self, ctx: QueryBatchContext) -> None:
+        index = self.index
+        queries = ctx.queries
+        triples = index.transforms.query_triples_batch(queries)
+        ub_tensor = index.transforms.upper_bound_tensor(triples)
+        search_bounds = determine_search_bounds_batch(ub_tensor, ctx.k)
+        exact_radii = pad_radii(search_bounds.radii)
+        radii = pad_radii(index._adjust_radii_batch(search_bounds, triples))
+
+        sub_matrices = index.partitioning.split_matrix(queries)
+        candidates, forest_stats = index.forest.range_union_batch(
+            sub_matrices, radii, point_filter=index.config.point_filter
+        )
+        for q in range(ctx.n_queries):
+            if candidates[q].size < ctx.k:
+                sub_queries = [mat[q] for mat in sub_matrices]
+                candidates[q], forest_stats[q] = self.widen_if_short(
+                    sub_queries,
+                    radii[q],
+                    exact_radii[q],
+                    ctx.k,
+                    candidates[q],
+                    forest_stats[q],
+                )
+        ctx.candidates = candidates
+        ctx.forest_stats = forest_stats
+        ctx.bound_totals = np.asarray(search_bounds.totals, dtype=float)
+
+    def widen_if_short(
+        self, sub_queries, radii, exact_radii, k, candidates, forest_stats
+    ):
+        """Recover >= k candidates when adjusted radii were too aggressive.
+
+        Bisects the interpolation between the adjusted and the exact
+        radii (which Theorem 3 guarantees yield >= k candidates) for the
+        smallest widening that returns at least k.  Exact search radii
+        equal the exact radii, so this is a no-op there.
+        """
+        if candidates.size >= k or np.array_equal(radii, exact_radii):
+            return candidates, forest_stats
+        forest = self.index.forest
+        point_filter = self.index.config.point_filter
+        lo, hi = 0.0, 1.0
+        best = forest.range_union(sub_queries, exact_radii, point_filter=point_filter)
+        for _ in range(8):
+            mid = 0.5 * (lo + hi)
+            mid_radii = radii + mid * (exact_radii - radii)
+            attempt = forest.range_union(
+                sub_queries, mid_radii, point_filter=point_filter
+            )
+            if attempt[0].size >= k:
+                best = attempt
+                hi = mid
+            else:
+                lo = mid
+        return best

@@ -1,0 +1,149 @@
+"""Refine stage: expansion-kernel scoring of every (candidate, query) pair.
+
+Owns the adaptive dense/sparse/auto kernel dispatch and the
+conditioner-wrapped cross-divergence kernels.  Batch contexts score the
+union slab either through the dense blocked kernel (full
+``(union, B)`` matrix in ``refinement_block_size`` row blocks) or the
+sparse grouped kernel (only real pairs, query-bucketed gathers); single
+contexts score the one query's candidates through the dense kernel at
+``B = 1``.  Every path produces bitwise-identical scores -- dense
+columns are independent of batch composition and blocking, sparse pair
+values equal the dense matrix entries bit for bit -- so the kernel
+choice is purely a performance decision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import PipelineStage
+from .context import QueryBatchContext
+
+__all__ = ["RefineStage", "build_pairs"]
+
+
+def build_pairs(
+    candidates: List[np.ndarray], row_of: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten candidate sets into (pair_rows, pair_queries, offsets).
+
+    Pairs are query-major: query ``q``'s scores land in
+    ``flat[offsets[q]:offsets[q + 1]]``, in candidate order.
+    """
+    sizes = np.array([ids.size for ids in candidates], dtype=int)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    if offsets[-1] == 0:
+        return np.empty(0, dtype=int), np.empty(0, dtype=int), offsets
+    pair_rows = np.concatenate([row_of[ids] for ids in candidates])
+    pair_queries = np.repeat(np.arange(len(candidates)), sizes)
+    return pair_rows, pair_queries, offsets
+
+
+class RefineStage(PipelineStage):
+    name = "refine"
+
+    def run(self, ctx: QueryBatchContext) -> None:
+        if ctx.single:
+            ctx.scores = self.score_dense(ctx.vectors, ctx.queries)[:, 0]
+            return
+        n_queries = ctx.n_queries
+        if ctx.union is None or ctx.union.size == 0 or n_queries == 0:
+            ctx.refine_kernel = None
+            return
+        kernel = self.choose_kernel(ctx.candidates, ctx.union.size, n_queries)
+        ctx.refine_kernel = kernel
+        vectors, queries = ctx.vectors, ctx.queries
+        if kernel == "sparse":
+            pair_rows, pair_queries, offsets = build_pairs(ctx.candidates, ctx.row_of)
+            flat = self.score_sparse(vectors, queries, pair_rows, pair_queries)
+            ctx.scores_of = lambda q, rows: flat[offsets[q] : offsets[q + 1]]
+        else:
+            block = self.index.config.refinement_block_for(n_queries, vectors.shape[1])
+            cross = np.empty((ctx.union.size, n_queries), dtype=float)
+            for lo in range(0, ctx.union.size, block):
+                hi = min(lo + block, ctx.union.size)
+                cross[lo:hi] = self.score_dense(vectors[lo:hi], queries)
+            ctx.scores_of = lambda q, rows: cross[rows, q]
+
+    # ------------------------------------------------------------------
+    # kernel dispatch
+    # ------------------------------------------------------------------
+
+    def choose_kernel(
+        self, candidates: List[np.ndarray], union_size: int, n_queries: int
+    ) -> str:
+        """Adaptive dispatch between the dense and sparse kernels.
+
+        The dense (union x batch) kernel scores every cell whether or
+        not it is a real (candidate, query) pair; when per-query
+        candidate sets are small or skewed relative to the union its
+        advantage inverts.  ``auto`` routes to the sparse grouped kernel
+        when the mean per-query candidate density over the union drops
+        below ``config.sparse_density_threshold``.
+        """
+        mode = self.index.config.refine_kernel
+        if mode != "auto":
+            return mode
+        if union_size == 0 or n_queries == 0:
+            return "dense"
+        total_pairs = sum(int(ids.size) for ids in candidates)
+        density = total_pairs / (union_size * n_queries)
+        threshold = self.index.config.sparse_density_threshold
+        return "sparse" if density < threshold else "dense"
+
+    # ------------------------------------------------------------------
+    # conditioner-wrapped kernels
+    # ------------------------------------------------------------------
+
+    def score_dense(self, vectors: np.ndarray, queries: np.ndarray) -> np.ndarray:
+        """Exact ``(n, B)`` divergences of every (vector, query) pair.
+
+        Routes through the divergence's expansion-form cross kernel,
+        first applying its :class:`RefinementConditioner` (centring /
+        scaling into the well-conditioned regime) and folding the
+        conditioner's output factor back in.  Conditioning is
+        elementwise, so scoring a row subset or block is bitwise
+        identical to slicing a full scoring -- the parity the blocked
+        and per-query paths rely on.
+        """
+        index = self.index
+        conditioner = index._refine_conditioner
+        if conditioner is not None:
+            vectors = conditioner.transform(vectors)
+            queries = conditioner.transform(queries)
+        values = index.divergence.cross_divergence(vectors, queries)
+        if conditioner is not None and conditioner.factor != 1.0:
+            values = values * conditioner.factor
+        return values
+
+    def score_sparse(
+        self,
+        vectors: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
+    ) -> np.ndarray:
+        """Sparse analogue of :meth:`score_dense`: only the listed pairs.
+
+        Applies the same conditioner and output factor, and the grouped
+        kernel's pair values are bitwise equal to the dense kernel's
+        matrix entries, so routing a query through this path instead of
+        the dense one cannot change a single bit of its scores.
+        """
+        index = self.index
+        conditioner = index._refine_conditioner
+        if conditioner is not None:
+            vectors = conditioner.transform(vectors)
+            queries = conditioner.transform(queries)
+        values = index.divergence.cross_divergence_grouped(
+            vectors,
+            queries,
+            point_index,
+            query_index,
+            pair_block=index.config.refinement_block_for(1, vectors.shape[1]),
+        )
+        if conditioner is not None and conditioner.factor != 1.0:
+            values = values * conditioner.factor
+        return values

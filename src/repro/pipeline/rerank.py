@@ -1,0 +1,124 @@
+"""Rerank stage: direct-kernel top-k over the preselected expansion scores.
+
+The expansion kernel can lose precision to cancellation, so final
+results are drawn from an adaptively-sized preselection buffer and
+re-scored with the divergence's direct (well-conditioned)
+``batch_divergence`` -- the same formula the brute-force oracle uses.
+Single and batch contexts, dense and sparse layouts, sequential and
+fanned-out fetches all converge on one :meth:`RerankStage.topk`
+implementation, which is what makes their tie-breaking -- and therefore
+the bitwise single/batch parity contract -- identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import PipelineStage
+from .context import QueryBatchContext
+
+__all__ = ["RerankStage", "top_k_stable"]
+
+#: extra candidates (beyond k) preselected by the fast expansion kernel
+#: and re-scored with the direct kernel before the final top-k.
+_RERANK_BUFFER = 16
+
+
+def top_k_stable(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest values, ties broken by lowest index.
+
+    Equivalent to ``np.argsort(values, kind="stable")[:k]`` without
+    sorting the full array: ``np.argpartition`` isolates the k smallest,
+    and only the entries tied with the k-th smallest value join the
+    final stable sort (so boundary ties still resolve by index).  Every
+    selection in the pipeline -- per-query and blocked-batch alike --
+    goes through this one helper, which is what makes their
+    tie-breaking identical.
+    """
+    k_eff = min(k, values.size)
+    if k_eff == 0:
+        return np.empty(0, dtype=int)
+    if values.size > k_eff:
+        part = np.argpartition(values, k_eff - 1)[:k_eff]
+        pool = np.flatnonzero(values <= values[part].max())
+    else:
+        pool = np.arange(values.size)
+    return pool[np.argsort(values[pool], kind="stable")][:k_eff]
+
+
+class RerankStage(PipelineStage):
+    name = "rerank"
+
+    def run(self, ctx: QueryBatchContext) -> None:
+        if ctx.single:
+            ids = ctx.candidates[0]
+            vectors = ctx.vectors
+            ctx.refined = [
+                self.topk(
+                    ids, ctx.scores, ctx.queries[0], ctx.k, lambda sel: vectors[sel]
+                )
+            ]
+            return
+        if ctx.union is None or ctx.union.size == 0 or ctx.n_queries == 0:
+            empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
+            ctx.refined = [empty for _ in range(ctx.n_queries)]
+            return
+        refined = []
+        vectors, row_of = ctx.vectors, ctx.row_of
+        for q, ids in enumerate(ctx.candidates):
+            rows = row_of[ids]
+            refined.append(
+                self.topk(
+                    ids,
+                    ctx.scores_of(q, rows),
+                    ctx.queries[q],
+                    ctx.k,
+                    lambda sel: vectors[rows[sel]],
+                )
+            )
+        ctx.refined = refined
+
+    def topk(
+        self,
+        ids: np.ndarray,
+        scores: np.ndarray,
+        query: np.ndarray,
+        k: int,
+        gather,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Final top-k: preselect by expansion score, rerank directly.
+
+        ``gather(positions)`` materialises candidate vectors for
+        positions into ``ids``; every path passes a fresh contiguous
+        gather of the same rows, so single, looped, blocked and
+        fanned-out refinement rerank identical arrays and stay
+        bitwise-equal.  Ties resolve by ascending id (``ids`` is sorted,
+        positions are sorted back before scoring).
+
+        The buffer is *adaptive*: reranking the preselection also
+        measures the expansion kernel's noise floor on this query -- the
+        largest |expansion - direct| disagreement over the buffer.  When
+        more candidates tie within that floor of the preselection
+        boundary than the buffer holds, any of them could be a true
+        neighbour the noisy preselection ranked out, so the buffer grows
+        to cover the tie set and reranks again instead of silently
+        risking a dropped result.  On well-conditioned data the measured
+        floor is ~ulp-sized and the loop exits first pass; in the worst
+        case the rerank degrades to a direct-kernel scan of all
+        candidates, which is exactly the safe fallback.
+        """
+        divergence = self.index.divergence
+        buffer = min(ids.size, max(2 * k, k + _RERANK_BUFFER))
+        while True:
+            pre = np.sort(top_k_stable(scores, buffer))
+            exact = divergence.batch_divergence(gather(pre), query)
+            if buffer >= ids.size:
+                break
+            noise = float(np.max(np.abs(scores[pre] - exact)))
+            boundary = float(np.max(scores[pre]))
+            tied = int(np.count_nonzero(scores <= boundary + noise))
+            if tied <= buffer:
+                break
+            buffer = min(ids.size, max(tied, 2 * buffer))
+        order = top_k_stable(exact, k)
+        return ids[pre][order], exact[order]

@@ -1,0 +1,21 @@
+"""Asyncio serving layer: micro-batched query coalescing.
+
+:class:`MicroBatcher` accumulates concurrent single-query requests into
+micro-batches under ``max_batch_size`` / ``max_wait_ms`` deadlines
+(:class:`MicroBatchConfig`) and drives them through the staged
+``search_batch`` pipeline on a worker thread, resolving one future per
+request with results bitwise identical to direct ``search`` calls.
+:mod:`repro.serve.bench` holds the closed-loop benchmark engine behind
+``benchmarks/bench_serve.py`` and the CLI ``serve-bench`` command.
+"""
+
+from .bench import make_serving_index, run_closed_loop
+from .microbatcher import MicroBatchConfig, MicroBatcher, ServeStats
+
+__all__ = [
+    "MicroBatchConfig",
+    "MicroBatcher",
+    "ServeStats",
+    "make_serving_index",
+    "run_closed_loop",
+]

@@ -1,0 +1,129 @@
+"""Closed-loop serving benchmark engine (shared by CLI and benchmarks).
+
+Models a serving deployment end to end: ``n_clients`` concurrent
+closed-loop clients (each awaits its response before issuing its next
+request) drive a :class:`~repro.serve.MicroBatcher` over an index whose
+storage charges modeled I/O latency
+(``BrePartitionConfig.simulated_io_iops``).  Per-request serving
+(``max_batch_size=1``) pays the page-latency of every query's candidate
+working set separately; micro-batching coalesces the page unions of the
+requests that arrive within one ``max_wait_ms`` window, so the same
+hardware answers more requests per second -- the knob
+``benchmarks/bench_serve.py`` sweeps and ``BENCH_serve.json`` records.
+
+Everything here is wall-clock-free of *assertions*: callers decide what
+to claim (the CI smoke asserts only parity and batch-size accounting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.config import BrePartitionConfig
+from ..core.index import BrePartitionIndex
+from ..datasets.proxies import load_dataset
+from .microbatcher import MicroBatcher
+
+__all__ = ["make_serving_index", "run_closed_loop"]
+
+
+def make_serving_index(
+    dataset_name: str = "fonts",
+    n: int = 600,
+    n_queries: int = 64,
+    seed: int = 0,
+    n_partitions: int = 4,
+    page_size_bytes: int = 16384,
+    leaf_capacity: int = 40,
+    n_shards: int = 1,
+    shard_workers: int = 1,
+    iops: Optional[float] = 4000.0,
+):
+    """Build a dataset + index pair configured for serving benchmarks.
+
+    Small pages give each query a page working set worth coalescing, and
+    ``iops`` turns every charged page into modeled device latency (the
+    quantity micro-batching amortizes).  ``iops=None`` keeps I/O free
+    for pure-CPU runs (the smoke mode).
+    """
+    dataset = load_dataset(dataset_name, n=n, n_queries=n_queries, seed=seed)
+    index = BrePartitionIndex(
+        dataset.divergence,
+        BrePartitionConfig(
+            n_partitions=n_partitions,
+            page_size_bytes=page_size_bytes,
+            leaf_capacity=leaf_capacity,
+            seed=seed,
+            n_shards=n_shards,
+            shard_workers=shard_workers,
+            simulated_io_iops=iops,
+        ),
+    ).build(dataset.points)
+    return dataset, index
+
+
+def run_closed_loop(
+    index,
+    queries: np.ndarray,
+    k: int,
+    n_clients: int,
+    requests_per_client: int,
+    max_batch_size: int,
+    max_wait_ms: float,
+    keep_results: bool = False,
+) -> dict:
+    """Drive one closed-loop arm; returns the measured row.
+
+    Client ``c``'s ``r``-th request reuses query row
+    ``(c * requests_per_client + r) % len(queries)``, so every arm
+    serves an identical request stream and rows are comparable.  With
+    ``keep_results`` the per-request :class:`SearchResult` records ride
+    along under ``"results"`` (request order, client-major) for parity
+    checks; timing rows drop them.
+    """
+    total = n_clients * requests_per_client
+    results: List = [None] * total
+    latencies = np.zeros(total)
+
+    async def client(batcher: MicroBatcher, c: int) -> None:
+        for r in range(requests_per_client):
+            slot = c * requests_per_client + r
+            query = queries[slot % len(queries)]
+            issued = time.perf_counter()
+            results[slot] = await batcher.search(query)
+            latencies[slot] = time.perf_counter() - issued
+
+    async def drive() -> tuple[float, MicroBatcher]:
+        async with MicroBatcher(
+            index, k, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        ) as batcher:
+            start = time.perf_counter()
+            await asyncio.gather(*(client(batcher, c) for c in range(n_clients)))
+            elapsed = time.perf_counter() - start
+        return elapsed, batcher
+
+    elapsed, batcher = asyncio.run(drive())
+    stats = batcher.stats
+    row = {
+        "n_clients": n_clients,
+        "requests": total,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "seconds": elapsed,
+        "throughput_rps": total / elapsed if elapsed > 0 else float("inf"),
+        "mean_latency_ms": float(latencies.mean() * 1000.0),
+        "p95_latency_ms": float(np.quantile(latencies, 0.95) * 1000.0),
+        "n_batches": stats.n_batches,
+        "batch_sizes": list(stats.batch_sizes),
+        "mean_batch_size": stats.mean_batch_size,
+        "mean_pages_per_request": (
+            stats.total_pages_read / total if total else 0.0
+        ),
+    }
+    if keep_results:
+        row["results"] = results
+    return row

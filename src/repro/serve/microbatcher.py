@@ -1,0 +1,284 @@
+"""Asyncio micro-batching front-end over the staged search pipeline.
+
+ROADMAP "Async serving": concurrent single-query requests are coalesced
+into micro-batches so the whole staged pipeline -- one bound tensor, one
+forest traversal, one coalesced page-union charge -- is amortized across
+the requests that happen to arrive together.  The knob is the classic
+latency/throughput trade: a batch is dispatched as soon as
+``max_batch_size`` requests are pending, or ``max_wait_ms`` after its
+first request arrived, whichever comes first.
+
+The event loop only queues requests and resolves futures; each batch's
+``search_batch`` call runs on a single dedicated worker thread (batches
+serialize there, keeping the index's per-query I/O-tracker scopes from
+interleaving), inside which the sharded Fetch stage still fans out
+across its own :class:`~repro.exec.ShardExecutor` pool.  Responses are
+the exact per-query :class:`~repro.core.results.SearchResult` records,
+bitwise identical to a direct ``index.search`` call -- the pipeline's
+single/batch parity contract is what makes transparent micro-batching
+sound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Deque, Optional
+
+import numpy as np
+
+from ..core.results import BatchQueryStats, SearchResult
+from ..exceptions import InvalidParameterError
+
+__all__ = ["MicroBatchConfig", "MicroBatcher", "ServeStats"]
+
+
+@dataclass
+class MicroBatchConfig:
+    """Tunables of the micro-batching serving layer.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Dispatch a batch as soon as this many requests are pending.
+        ``1`` degenerates to per-request serving (the benchmark
+        baseline).
+    max_wait_ms:
+        Dispatch at most this many milliseconds after a batch's first
+        request arrived, full or not.  ``0`` dispatches on the next
+        event-loop tick, trading all coalescing opportunity for minimum
+        queueing latency.
+    """
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise InvalidParameterError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.max_wait_ms < 0.0:
+            raise InvalidParameterError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+
+#: dispatch-order history windows kept by :class:`ServeStats`.  Bounded
+#: so a long-running server's stats stay O(1); the aggregate counters
+#: (`n_requests` / `n_batches` / `total_pages_read`) remain exact
+#: forever.  Far above anything the tests or benchmarks dispatch.
+_BATCH_SIZE_HISTORY = 4096
+_BATCH_STATS_HISTORY = 256
+
+
+@dataclass
+class ServeStats:
+    """Serving-side accounting of one :class:`MicroBatcher`'s lifetime.
+
+    Counters are exact over the whole lifetime; the per-batch history
+    windows (``batch_sizes``, ``batch_stats``) keep only the most
+    recent dispatches so a persistent server cannot grow them without
+    bound.
+    """
+
+    #: requests answered (successfully resolved futures).
+    n_requests: int = 0
+    #: batches dispatched to the worker thread.
+    n_batches: int = 0
+    #: simulated pages charged across all served batches.
+    total_pages_read: int = 0
+    #: effective sizes of the most recent dispatches, in dispatch order.
+    batch_sizes: Deque[int] = field(
+        default_factory=lambda: deque(maxlen=_BATCH_SIZE_HISTORY)
+    )
+    #: engine-side stats of the most recent dispatches, in dispatch order.
+    batch_stats: Deque[BatchQueryStats] = field(
+        default_factory=lambda: deque(maxlen=_BATCH_STATS_HISTORY)
+    )
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Lifetime mean effective batch size (0.0 before any batch)."""
+        if self.n_batches == 0:
+            return 0.0
+        return self.n_requests / self.n_batches
+
+
+class MicroBatcher:
+    """Coalesce concurrent async queries into ``search_batch`` calls.
+
+    Usage::
+
+        async with MicroBatcher(index, k=10, config=MicroBatchConfig()) as b:
+            results = await asyncio.gather(*(b.search(q) for q in queries))
+
+    Parameters
+    ----------
+    index:
+        Any index exposing ``search_batch(queries, k)`` (the
+        BrePartition pipeline drivers).
+    k:
+        Neighbours returned per request.
+    config:
+        The :class:`MicroBatchConfig` deadlines; keyword overrides
+        ``max_batch_size`` / ``max_wait_ms`` apply on top of it.
+
+    All coordination state is owned by the event loop thread (submit,
+    flush and resolve all run there), so no locks are needed; only the
+    pipeline itself runs on the worker thread.  One batcher serves one
+    event loop at a time.
+    """
+
+    def __init__(
+        self,
+        index,
+        k: int,
+        config: Optional[MicroBatchConfig] = None,
+        max_batch_size: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+    ) -> None:
+        config = config if config is not None else MicroBatchConfig()
+        overrides = {}
+        if max_batch_size is not None:
+            overrides["max_batch_size"] = max_batch_size
+        if max_wait_ms is not None:
+            overrides["max_wait_ms"] = max_wait_ms
+        if overrides:
+            config = replace(config, **overrides)
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        self.index = index
+        self.k = int(k)
+        self.config = config
+        self.stats = ServeStats()
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._inflight: set = set()
+        self._closed = False
+        # one worker thread: batches serialize on it, so the index's
+        # tracker query scopes never interleave; the sharded Fetch stage
+        # still fans out across the ShardExecutor pool inside the call
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # request side (event loop thread)
+    # ------------------------------------------------------------------
+
+    async def search(self, query: np.ndarray) -> SearchResult:
+        """Queue one query and await its :class:`SearchResult`.
+
+        Malformed queries (wrong shape or domain violations) are raised
+        eagerly to this caller instead of poisoning the batch the query
+        would have joined.
+        """
+        if self._closed:
+            raise InvalidParameterError("MicroBatcher is closed")
+        query = np.asarray(query, dtype=float)
+        expected = self._dimensionality()
+        if query.ndim != 1 or (expected is not None and query.size != expected):
+            raise InvalidParameterError(
+                f"query must be a 1-D vector"
+                + (f" of {expected} dimensions" if expected is not None else "")
+                + f", got shape {query.shape}"
+            )
+        self.index.divergence.validate_domain(query, "query")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((query, future))
+        if len(self._pending) >= self.config.max_batch_size:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.config.max_wait_ms / 1000.0, self._flush
+            )
+        return await future
+
+    async def close(self) -> None:
+        """Flush the queue, await in-flight batches, stop the worker."""
+        self._closed = True
+        while self._pending:
+            self._flush()
+        if self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "MicroBatcher":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch side (still the event loop thread)
+    # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Dispatch up to ``max_batch_size`` pending requests as one batch."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch = self._pending[: self.config.max_batch_size]
+        del self._pending[: self.config.max_batch_size]
+        loop = asyncio.get_running_loop()
+        if self._pending:
+            # overflow requests start a fresh deadline immediately
+            self._timer = loop.call_later(
+                self.config.max_wait_ms / 1000.0, self._flush
+            )
+        futures = [future for _, future in batch]
+        try:
+            queries = np.stack([query for query, _ in batch])
+            task = loop.run_in_executor(
+                self._executor, self.index.search_batch, queries, self.k
+            )
+        except Exception as error:  # noqa: BLE001 - a failed dispatch must
+            # fail its requests, never strand their futures unresolved
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        self._inflight.add(task)
+        task.add_done_callback(lambda done: self._resolve(done, futures))
+
+    def _resolve(self, task, futures: list) -> None:
+        """Fan a finished batch back out into its per-request futures."""
+        self._inflight.discard(task)
+        error = task.exception()
+        if error is not None:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        batch = task.result()
+        self.stats.n_batches += 1
+        self.stats.batch_sizes.append(len(batch))
+        self.stats.batch_stats.append(batch.stats)
+        self.stats.total_pages_read += batch.stats.pages_read
+        for future, result in zip(futures, batch.results):
+            self.stats.n_requests += 1
+            if not future.done():
+                future.set_result(result)
+
+    def _dimensionality(self) -> Optional[int]:
+        """Expected query dimensionality, when the index exposes one."""
+        for probe in (
+            getattr(self.index, "partitioning", None),
+            getattr(self.index, "datastore", None),
+        ):
+            dim = getattr(probe, "dimensionality", None)
+            if dim is not None:
+                return int(dim)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroBatcher(k={self.k}, max_batch_size="
+            f"{self.config.max_batch_size}, max_wait_ms={self.config.max_wait_ms})"
+        )

@@ -37,8 +37,25 @@ class BufferPool:
         self.capacity_pages = int(capacity_pages)
         self.hits = 0
         self.misses = 0
-        self._lru: OrderedDict[tuple[int, int], None] = OrderedDict()
+        #: hits on pages a *previous* batch (or single query) inserted or
+        #: last touched -- the cross-batch reuse the ROADMAP asks the
+        #: batch engine to measure.  Counted per batch epoch: the search
+        #: drivers call :meth:`begin_batch` once per search scope, and a
+        #: hit whose cached entry predates the current epoch is
+        #: cross-batch.  Intra-batch re-touches (same page charged twice
+        #: within one scope) count as plain hits only.
+        self.cross_batch_hits = 0
+        #: maps cached (fileno, page) keys to the epoch that last touched
+        #: them, in LRU order.
+        self._lru: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._epoch = 0
         self._lock = threading.Lock()
+
+    def begin_batch(self) -> None:
+        """Open a new batch epoch: later hits on pages cached before this
+        call count toward :attr:`cross_batch_hits`."""
+        with self._lock:
+            self._epoch += 1
 
     def access(self, fileno: int, page: int) -> bool:
         """Touch a page; returns ``True`` on a cache hit.
@@ -49,11 +66,14 @@ class BufferPool:
         key = (fileno, page)
         with self._lock:
             if key in self._lru:
+                if self._lru[key] != self._epoch:
+                    self.cross_batch_hits += 1
+                self._lru[key] = self._epoch
                 self._lru.move_to_end(key)
                 self.hits += 1
                 return True
             self.misses += 1
-            self._lru[key] = None
+            self._lru[key] = self._epoch
             if len(self._lru) > self.capacity_pages:
                 self._lru.popitem(last=False)
             return False
@@ -69,3 +89,4 @@ class BufferPool:
         self._lru.clear()
         self.hits = 0
         self.misses = 0
+        self.cross_batch_hits = 0

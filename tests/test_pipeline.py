@@ -1,0 +1,366 @@
+"""Staged-pipeline and serving-layer tests.
+
+The contracts under test (ISSUE 4's tentpole): decomposing
+``search_batch`` into Plan -> Fetch -> Refine -> Rerank stages must
+change *nothing* about the results -- for every decomposable divergence,
+every refinement kernel and the sharded fan-out, batched top-k ids and
+divergences stay bitwise equal to a brute-force oracle -- and the
+asyncio micro-batching front-end must serve every concurrent client a
+response bitwise identical to a direct ``search`` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import (
+    BrePartitionConfig,
+    BrePartitionIndex,
+    ItakuraSaito,
+    SquaredEuclidean,
+    brute_force_knn,
+)
+from repro.exceptions import DomainError, InvalidParameterError
+from repro.pipeline import (
+    PipelineStage,
+    QueryBatchContext,
+    SearchPipeline,
+    default_stages,
+)
+from repro.serve import MicroBatchConfig, MicroBatcher
+from repro.storage import BufferPool, DataStore
+
+from conftest import all_decomposable_divergences, points_for
+
+N_POINTS = 240
+N_QUERIES = 12
+DIM = 12
+K = 5
+# tiny pages (8 points each) so batches span several pages per shard
+PAGE_BYTES = 8 * DIM * 8
+
+STAGE_NAMES = ("plan", "fetch", "refine", "rerank")
+
+
+def build_index(divergence, points, **config_kwargs):
+    config_kwargs.setdefault("n_partitions", 3)
+    config_kwargs.setdefault("seed", 0)
+    return BrePartitionIndex(
+        divergence, BrePartitionConfig(**config_kwargs)
+    ).build(points)
+
+
+class TestPipelineOracleParity:
+    """Acceptance: staged-pipeline results are bitwise the oracle's."""
+
+    @pytest.mark.parametrize("name,divergence", all_decomposable_divergences(DIM))
+    def test_batch_matches_brute_force_bitwise(self, name, divergence):
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        index = build_index(
+            divergence, points, n_shards=4, page_size_bytes=PAGE_BYTES
+        )
+        index.config.shard_workers = 4
+        for kernel in ("dense", "sparse", "auto"):
+            index.config.refine_kernel = kernel
+            batch = index.search_batch(queries, K)
+            for query, result in zip(queries, batch):
+                oracle_ids, oracle_divs = brute_force_knn(
+                    divergence, points, query, K
+                )
+                np.testing.assert_array_equal(result.ids, oracle_ids)
+                np.testing.assert_array_equal(result.divergences, oracle_divs)
+
+    @pytest.mark.parametrize("name,divergence", all_decomposable_divergences(DIM))
+    def test_single_search_matches_brute_force_bitwise(self, name, divergence):
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        queries = points_for(divergence, 4, DIM, seed=2)
+        index = build_index(divergence, points)
+        for query in queries:
+            result = index.search(query, K)
+            oracle_ids, oracle_divs = brute_force_knn(divergence, points, query, K)
+            np.testing.assert_array_equal(result.ids, oracle_ids)
+            np.testing.assert_array_equal(result.divergences, oracle_divs)
+
+
+class TestStageMechanics:
+    def _index(self, **kwargs):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        return build_index(divergence, points, **kwargs), points
+
+    def test_batch_stats_record_stage_seconds(self):
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), N_QUERIES, DIM, seed=2)
+        stats = index.search_batch(queries, K).stats
+        assert tuple(stats.stage_seconds) == STAGE_NAMES  # insertion order
+        assert all(seconds >= 0.0 for seconds in stats.stage_seconds.values())
+        # the stages are timed inside the driver's elapsed window
+        assert sum(stats.stage_seconds.values()) <= stats.cpu_seconds + 0.05
+
+    def test_single_search_records_stage_seconds(self):
+        index, _ = self._index()
+        query = points_for(SquaredEuclidean(), 1, DIM, seed=2)[0]
+        stats = index.search(query, K).stats
+        assert tuple(stats.stage_seconds) == STAGE_NAMES
+
+    def test_stage_lookup(self):
+        index, _ = self._index()
+        assert index.pipeline.stage("plan").name == "plan"
+        with pytest.raises(KeyError, match="no stage"):
+            index.pipeline.stage("shuffle")
+
+    def test_refine_prefetched_matches_looped_reference(self):
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), N_QUERIES, DIM, seed=2)
+        rng = np.random.default_rng(3)
+        candidates = [
+            np.unique(rng.integers(0, N_POINTS, size=rng.integers(K, 60)))
+            for _ in range(N_QUERIES)
+        ]
+        index.datastore.charge_pages_for(candidates)
+        staged = index._refine_batch(candidates, queries, K)
+        looped = index._refine_batch_looped(candidates, queries, K)
+        for (a_ids, a_divs), (b_ids, b_divs) in zip(staged, looped):
+            np.testing.assert_array_equal(a_ids, b_ids)
+            np.testing.assert_array_equal(a_divs, b_divs)
+
+    def test_custom_stage_splices_into_pipeline(self):
+        # the stage list is open: appending an observer stage must not
+        # disturb results, and the driver must run (and time) it
+        index, points = self._index()
+        query = points_for(SquaredEuclidean(), 1, DIM, seed=2)[0]
+        before = index.search(query, K)
+
+        class ProbeStage(PipelineStage):
+            name = "probe"
+
+            def run(self, ctx: QueryBatchContext) -> None:
+                ctx.probe_refined = len(ctx.refined)
+
+        index.pipeline = SearchPipeline(
+            index, default_stages(index) + [ProbeStage(index)]
+        )
+        after = index.search(query, K)
+        np.testing.assert_array_equal(before.ids, after.ids)
+        np.testing.assert_array_equal(before.divergences, after.divergences)
+        assert "probe" in after.stats.stage_seconds
+
+
+class TestCrossBatchPoolReuse:
+    """Satellite: the buffer pool measures reuse across batches."""
+
+    def _index(self, pool):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        config = BrePartitionConfig(
+            n_partitions=3, seed=0, page_size_bytes=PAGE_BYTES
+        )
+        return BrePartitionIndex(divergence, config, buffer_pool=pool).build(points)
+
+    def test_second_batch_reuses_first_batch_pages(self):
+        pool = BufferPool(capacity_pages=10_000)
+        index = self._index(pool)
+        queries = points_for(SquaredEuclidean(), N_QUERIES, DIM, seed=2)
+        first = index.search_batch(queries, K).stats
+        second = index.search_batch(queries, K).stats
+        # a cold pool has nothing from earlier batches to hand back
+        assert first.cross_batch_hits == 0
+        # identical queries: the whole coalesced working set is served
+        # from pages the first batch inserted
+        assert second.cross_batch_hits == second.pages_coalesced > 0
+        assert second.pages_read == 0
+        assert pool.cross_batch_hits == second.cross_batch_hits
+
+    def test_disjoint_working_sets_count_no_cross_reuse(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(40, 6))
+        pool = BufferPool(capacity_pages=10_000)
+        store = DataStore(points, page_size_bytes=4 * 6 * 8, buffer_pool=pool)
+        pool.begin_batch()
+        store.charge_pages_for([np.arange(0, 8)])
+        pool.begin_batch()
+        store.charge_pages_for([np.arange(20, 28)])  # page-disjoint batch
+        assert pool.cross_batch_hits == 0
+        pool.begin_batch()
+        store.charge_pages_for([np.arange(0, 8)])  # revisits batch 1's pages
+        assert pool.cross_batch_hits == store.count_pages_of(np.arange(0, 8))
+
+    def test_no_pool_reports_none(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        index = build_index(divergence, points)
+        queries = points_for(divergence, N_QUERIES, DIM, seed=2)
+        assert index.search_batch(queries, K).stats.cross_batch_hits is None
+
+    def test_pool_epoch_separates_intra_from_cross(self):
+        pool = BufferPool(capacity_pages=16)
+        pool.begin_batch()
+        assert pool.access(1, 7) is False  # miss inserts
+        assert pool.access(1, 7) is True  # intra-batch re-hit
+        assert pool.cross_batch_hits == 0
+        pool.begin_batch()
+        assert pool.access(1, 7) is True  # cross-batch reuse
+        assert pool.cross_batch_hits == 1
+        pool.clear()
+        assert pool.cross_batch_hits == 0
+
+
+class TestMicroBatcher:
+    """Satellite: async serving parity under concurrent clients."""
+
+    def _index(self, divergence=None, points=None, **kwargs):
+        divergence = divergence if divergence is not None else SquaredEuclidean()
+        if points is None:
+            points = points_for(divergence, N_POINTS, DIM, seed=1)
+        return build_index(divergence, points, **kwargs), points
+
+    def test_32_concurrent_clients_bitwise_identical_to_search(self):
+        index, _ = self._index(n_shards=4, page_size_bytes=PAGE_BYTES)
+        index.config.shard_workers = 4
+        queries = points_for(SquaredEuclidean(), 32, DIM, seed=2)
+        reference = [index.search(query, K) for query in queries]
+
+        async def serve():
+            async with MicroBatcher(
+                index, K, max_batch_size=8, max_wait_ms=50.0
+            ) as batcher:
+                results = await asyncio.gather(
+                    *(batcher.search(query) for query in queries)
+                )
+            return results, batcher.stats
+
+        results, stats = asyncio.run(serve())
+        for expected, served in zip(reference, results):
+            np.testing.assert_array_equal(expected.ids, served.ids)
+            np.testing.assert_array_equal(expected.divergences, served.divergences)
+        assert stats.n_requests == 32
+        assert sum(stats.batch_sizes) == 32
+        assert max(stats.batch_sizes) <= 8
+        assert stats.mean_batch_size > 1.0
+
+    def test_deadline_flushes_partial_batch(self):
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), 3, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                index, K, max_batch_size=100, max_wait_ms=1.0
+            ) as batcher:
+                results = await asyncio.gather(
+                    *(batcher.search(query) for query in queries)
+                )
+            return results, batcher.stats
+
+        results, stats = asyncio.run(serve())
+        assert stats.n_batches == 1
+        assert list(stats.batch_sizes) == [3]
+        for query, served in zip(queries, results):
+            expected = index.search(query, K)
+            np.testing.assert_array_equal(expected.ids, served.ids)
+
+    def test_per_request_mode_dispatches_singleton_batches(self):
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), 6, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                index, K, config=MicroBatchConfig(max_batch_size=1, max_wait_ms=0.0)
+            ) as batcher:
+                return await asyncio.gather(
+                    *(batcher.search(query) for query in queries)
+                ), batcher.stats
+
+        _, stats = asyncio.run(serve())
+        assert stats.n_batches == 6
+        assert list(stats.batch_sizes) == [1] * 6
+
+    def test_bad_query_fails_alone_not_its_batch(self):
+        divergence = ItakuraSaito()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        index, _ = self._index(divergence=divergence, points=points)
+        good = points_for(divergence, 4, DIM, seed=2)
+        bad = good[0].copy()
+        bad[0] = -1.0  # outside the Itakura-Saito domain
+
+        async def serve():
+            async with MicroBatcher(
+                index, K, max_batch_size=8, max_wait_ms=5.0
+            ) as batcher:
+                return await asyncio.gather(
+                    *(batcher.search(query) for query in good),
+                    batcher.search(bad),
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(serve())
+        assert isinstance(results[-1], DomainError)
+        for query, served in zip(good, results[:-1]):
+            expected = index.search(query, K)
+            np.testing.assert_array_equal(expected.ids, served.ids)
+
+    def test_wrong_shape_query_fails_alone_not_its_batch(self):
+        # shape mismatches must be rejected eagerly: once batched, a
+        # misshapen query would make np.stack fail the whole dispatch
+        index, _ = self._index()
+        good = points_for(SquaredEuclidean(), 4, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                index, K, max_batch_size=8, max_wait_ms=5.0
+            ) as batcher:
+                return await asyncio.gather(
+                    *(batcher.search(query) for query in good),
+                    batcher.search(good[0][: DIM - 2]),
+                    batcher.search(good[:2]),  # 2-D input
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(serve())
+        assert isinstance(results[-2], InvalidParameterError)
+        assert isinstance(results[-1], InvalidParameterError)
+        for query, served in zip(good, results[:-2]):
+            expected = index.search(query, K)
+            np.testing.assert_array_equal(expected.ids, served.ids)
+
+    def test_closed_batcher_rejects_requests(self):
+        index, _ = self._index()
+        query = points_for(SquaredEuclidean(), 1, DIM, seed=2)[0]
+
+        async def serve():
+            batcher = MicroBatcher(index, K)
+            await batcher.close()
+            with pytest.raises(InvalidParameterError, match="closed"):
+                await batcher.search(query)
+
+        asyncio.run(serve())
+
+    def test_config_validation(self):
+        index, _ = self._index()
+        with pytest.raises(InvalidParameterError, match="max_batch_size"):
+            MicroBatchConfig(max_batch_size=0)
+        with pytest.raises(InvalidParameterError, match="max_wait_ms"):
+            MicroBatchConfig(max_wait_ms=-1.0)
+        with pytest.raises(InvalidParameterError, match="k must be"):
+            MicroBatcher(index, 0)
+
+    def test_serving_accounting_flows_through(self):
+        # the engine-side BatchQueryStats ride along per dispatched batch
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), 8, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                index, K, max_batch_size=8, max_wait_ms=50.0
+            ) as batcher:
+                await asyncio.gather(*(batcher.search(query) for query in queries))
+                return batcher.stats
+
+        stats = asyncio.run(serve())
+        assert len(stats.batch_stats) == stats.n_batches
+        engine = stats.batch_stats[0]
+        assert engine.n_queries == stats.batch_sizes[0]
+        assert tuple(engine.stage_seconds) == STAGE_NAMES
