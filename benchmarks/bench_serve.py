@@ -21,14 +21,24 @@ Responses are bitwise identical to direct per-query ``search`` in every
 arm (the pipeline's parity contract); timing rows never re-check it,
 the parity tests and the smoke mode do.
 
+ISSUE 5 adds the **concurrency sweep**: with per-batch
+:class:`~repro.storage.io_stats.QueryScope` accounting, the batcher can
+overlap ``max_concurrent_batches`` in-flight batches on a worker pool --
+their modeled I/O sleeps overlap like requests against real disks, so
+the same wait/batch-size settings serve more requests per second.  The
+sweep runs {1, 2, 4} in-flight batches at 64 clients and records the
+overlap speedup (target >= 1.5x over the single-worker server).
+
 Running the file directly rewrites ``BENCH_serve.json`` at the repo
 root.  ``--smoke`` runs a seconds-scale pass with I/O latency disabled
-that asserts *parity and batch-size accounting only* (every response
-equals direct search; dispatched batch sizes sum to the request count
-and respect ``max_batch_size``; the B=1 arm dispatches one batch per
-request) -- no wall-clock claims, so it cannot flake on loaded CI
-runners.  Under pytest, the parity check runs by default and the
-throughput assertion is ``slow``-marked.
+that asserts *parity and accounting only* (every response equals direct
+search -- including with 4 overlapped in-flight batches; dispatched
+batch sizes sum to the request count and respect ``max_batch_size``;
+the B=1 arm dispatches one batch per request; queue-depth admission
+rejects exactly the over-limit burst in fast-fail mode and serves
+everything in wait mode) -- no wall-clock claims, so it cannot flake on
+loaded CI runners.  Under pytest, the parity checks run by default and
+the throughput assertions are ``slow``-marked.
 """
 
 from __future__ import annotations
@@ -52,6 +62,14 @@ MAX_BATCH = 64
 REQUESTS_PER_CLIENT = 2
 IOPS = 4000.0
 TARGET_SERVE_SPEEDUP = 2.0
+
+# concurrency sweep: a batch cap well under the client count so several
+# batches form per wave, leaving overlap for the worker pool to exploit
+CONCURRENCY_SWEEP = (1, 2, 4)
+CONCURRENCY_CLIENTS = 64
+CONCURRENCY_MAX_BATCH = 16
+CONCURRENCY_WAIT_MS = 2.0
+TARGET_OVERLAP_SPEEDUP = 1.5
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 
@@ -93,6 +111,29 @@ def serve_arms(index, queries, n_clients: int) -> dict:
         )
         batched.append(row)
     return {"baseline": baseline, "batched": batched}
+
+
+def concurrency_arms(index, queries) -> list:
+    """The in-flight-batch sweep: same deadlines, wider worker pools."""
+    rows = []
+    for workers in CONCURRENCY_SWEEP:
+        row = run_closed_loop(
+            index,
+            queries,
+            K,
+            n_clients=CONCURRENCY_CLIENTS,
+            requests_per_client=REQUESTS_PER_CLIENT,
+            max_batch_size=CONCURRENCY_MAX_BATCH,
+            max_wait_ms=CONCURRENCY_WAIT_MS,
+            max_concurrent_batches=workers,
+        )
+        rows.append(row)
+    single = rows[0]["throughput_rps"]
+    for row in rows:
+        row["speedup_vs_single_worker"] = (
+            row["throughput_rps"] / single if single > 0 else float("inf")
+        )
+    return rows
 
 
 # ----------------------------------------------------------------------
@@ -138,20 +179,46 @@ def test_microbatching_at_least_2x_at_64_clients():
     assert best >= TARGET_SERVE_SPEEDUP
 
 
+@pytest.mark.slow
+def test_overlapped_batches_at_least_1p5x_at_64_clients():
+    # ISSUE 5 acceptance: overlapping in-flight batches beat the
+    # single-worker server under modeled I/O (the sleeps release the
+    # GIL, so the win does not depend on core count)
+    dataset, index = make_serving_index(
+        dataset_name=DATASET, n=N_POINTS, iops=IOPS
+    )
+    rows = concurrency_arms(index, dataset.queries)
+    best = max(row["speedup_vs_single_worker"] for row in rows)
+    print(
+        f"\noverlapped in-flight batches at {CONCURRENCY_CLIENTS} clients: "
+        f"best {best:.2f}x over one worker (target {TARGET_OVERLAP_SPEEDUP}x)"
+    )
+    assert best >= TARGET_OVERLAP_SPEEDUP
+
+
 # ----------------------------------------------------------------------
 # smoke / main
 # ----------------------------------------------------------------------
 
 
 def smoke() -> None:
-    """Seconds-scale CI pass: parity + batch-size accounting, no timing.
+    """Seconds-scale CI pass: parity + accounting, no timing.
 
     Drives 64 concurrent closed-loop clients through both serving modes
     with I/O latency disabled and asserts every response is bitwise
     identical to direct per-query ``search``, dispatched batch sizes sum
     exactly to the request count under the ``max_batch_size`` cap, and
-    per-request mode degenerates to one batch per request.
+    per-request mode degenerates to one batch per request.  ISSUE 5
+    coverage: the same parity and accounting hold with 4 overlapped
+    in-flight batches, and queue-depth admission sheds exactly the
+    over-limit burst in ``overflow="reject"`` mode while ``"wait"``
+    mode backpressures and serves everything.
     """
+    import asyncio
+
+    from repro.exceptions import ServerOverloadedError
+    from repro.serve import MicroBatcher
+
     dataset, index = make_serving_index(
         dataset_name=DATASET, n=400, n_queries=32, iops=None
     )
@@ -191,11 +258,69 @@ def smoke() -> None:
     for slot, served in enumerate(per_request["results"]):
         expected = reference[slot % len(queries)]
         np.testing.assert_array_equal(expected.ids, served.ids)
+
+    # overlapped in-flight batches: same parity and accounting with a
+    # 4-wide worker pool (per-batch QueryScope keeps pages exact)
+    overlapped = run_closed_loop(
+        index,
+        queries,
+        K,
+        n_clients=64,
+        requests_per_client=1,
+        max_batch_size=8,
+        max_wait_ms=20.0,
+        max_concurrent_batches=4,
+        keep_results=True,
+    )
+    for slot, served in enumerate(overlapped["results"]):
+        expected = reference[slot % len(queries)]
+        np.testing.assert_array_equal(expected.ids, served.ids)
+        np.testing.assert_array_equal(expected.divergences, served.divergences)
+    assert sum(overlapped["batch_sizes"]) == overlapped["requests"]
+    assert max(overlapped["batch_sizes"]) <= 8
+    assert overlapped["n_cancelled"] == overlapped["n_failed"] == 0
+    assert overlapped["n_rejected"] == 0
+
+    # queue-depth admission: a 12-request burst against depth 4 with the
+    # batch cap above it (so the queue cannot drain mid-burst) sheds
+    # exactly the 8 over-limit requests in reject mode...
+    async def burst(overflow: str):
+        async with MicroBatcher(
+            index,
+            K,
+            max_batch_size=64,
+            max_wait_ms=5.0,
+            max_queue_depth=4,
+            overflow=overflow,
+        ) as batcher:
+            results = await asyncio.gather(
+                *(batcher.search(query) for query in queries[:12]),
+                return_exceptions=True,
+            )
+        return results, batcher.stats
+
+    rejected_results, rejected_stats = asyncio.run(burst("reject"))
+    shed = [r for r in rejected_results if isinstance(r, ServerOverloadedError)]
+    assert len(shed) == 8 and rejected_stats.n_rejected == 8
+    assert rejected_stats.n_requests == 4  # only admitted requests dispatch
+    for slot, served in enumerate(rejected_results[:4]):
+        np.testing.assert_array_equal(reference[slot].ids, served.ids)
+
+    # ...while wait mode backpressures the same burst and serves it all
+    waited_results, waited_stats = asyncio.run(burst("wait"))
+    assert waited_stats.n_rejected == 0
+    assert waited_stats.n_requests == 12
+    for slot, served in enumerate(waited_results):
+        np.testing.assert_array_equal(reference[slot].ids, served.ids)
+
     print(
-        f"smoke OK: {batched['requests'] + per_request['requests']} served "
-        f"responses bitwise-identical to direct search; batch sizes "
-        f"{batched['batch_sizes']} under cap 16, B=1 mode dispatched "
-        f"{per_request['n_batches']} singleton batches"
+        f"smoke OK: {batched['requests'] + per_request['requests'] + overlapped['requests']} "
+        f"served responses bitwise-identical to direct search "
+        f"(incl. {overlapped['n_batches']} batches overlapped on 4 workers); "
+        f"batch sizes {batched['batch_sizes']} under cap 16, B=1 mode "
+        f"dispatched {per_request['n_batches']} singleton batches; "
+        f"queue depth 4 shed {rejected_stats.n_rejected} of 12 burst "
+        f"requests in reject mode and served all 12 in wait mode"
     )
 
 
@@ -235,6 +360,27 @@ def main() -> None:
         f"(target {TARGET_SERVE_SPEEDUP}x)"
     )
 
+    print(
+        f"\nconcurrency sweep: {CONCURRENCY_CLIENTS} clients, "
+        f"max_batch={CONCURRENCY_MAX_BATCH}, wait={CONCURRENCY_WAIT_MS}ms, "
+        f"{len(CONCURRENCY_SWEEP)} worker-pool widths"
+    )
+    concurrency = concurrency_arms(index, queries)
+    for row in concurrency:
+        print(
+            f"  in-flight={row['max_concurrent_batches']}: "
+            f"{row['throughput_rps']:8.1f} req/s "
+            f"({row['speedup_vs_single_worker']:5.2f}x vs 1 worker)  "
+            f"latency {row['mean_latency_ms']:6.1f}ms  "
+            f"mean batch {row['mean_batch_size']:5.1f}  "
+            f"pages/req {row['mean_pages_per_request']:5.1f}"
+        )
+    overlap_speedup = max(row["speedup_vs_single_worker"] for row in concurrency)
+    print(
+        f"best overlap speedup: {overlap_speedup:.2f}x "
+        f"(target {TARGET_OVERLAP_SPEEDUP}x)"
+    )
+
     payload = {
         "benchmark": "serve_microbatching",
         "dataset": DATASET,
@@ -247,6 +393,14 @@ def main() -> None:
         "modeled_iops": IOPS,
         "target_speedup_at_64_clients": TARGET_SERVE_SPEEDUP,
         "best_speedup_at_64_clients": round(speedup_at_64, 3),
+        "target_overlap_speedup": TARGET_OVERLAP_SPEEDUP,
+        "best_overlap_speedup": round(overlap_speedup, 3),
+        "concurrency_sweep": {
+            "n_clients": CONCURRENCY_CLIENTS,
+            "max_batch_size": CONCURRENCY_MAX_BATCH,
+            "max_wait_ms": CONCURRENCY_WAIT_MS,
+            "arms": [_strip(row) for row in concurrency],
+        },
         "sweep": [
             {
                 "n_clients": n_clients,

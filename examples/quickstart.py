@@ -113,6 +113,33 @@ def main() -> None:
 
     asyncio.run(serve_demo())
 
+    # Concurrent in-flight batches with backpressure: every search call
+    # opens its own I/O QueryScope, so up to max_concurrent_batches
+    # micro-batches may overlap on the worker pool without corrupting
+    # each other's pages-per-query accounting, and max_queue_depth bounds
+    # how many requests may wait for dispatch (overflow="wait" parks
+    # them; overflow="reject" fails fast with ServerOverloadedError).
+    async def concurrent_serve_demo() -> None:
+        serve_queries = np.exp(rng.normal(0.0, 0.6, size=(32, 64)))
+        async with MicroBatcher(index, k=10, max_batch_size=8,
+                                max_wait_ms=5.0, max_concurrent_batches=4,
+                                max_queue_depth=16, overflow="wait") as batcher:
+            responses = await asyncio.gather(
+                *(batcher.search(query) for query in serve_queries)
+            )
+        stats = batcher.stats
+        print(f"\noverlapped serving: {stats.n_requests} requests in "
+              f"{stats.n_batches} batches across 4 in-flight workers "
+              f"(cancelled {stats.n_cancelled}, failed {stats.n_failed}, "
+              f"rejected {stats.n_rejected})")
+        for query, served in zip(serve_queries, responses):
+            direct = index.search(query, k=10)
+            assert np.array_equal(direct.ids, served.ids), \
+                "overlapping batches must not change results"
+        print("verified: every overlapped response identical to direct search")
+
+    asyncio.run(concurrent_serve_demo())
+
 
 if __name__ == "__main__":
     main()

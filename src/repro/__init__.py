@@ -58,6 +58,7 @@ from .exceptions import (
     NotDecomposableError,
     NotFittedError,
     ReproError,
+    ServerOverloadedError,
     StorageError,
 )
 from .vafile import VAFileIndex
@@ -98,4 +99,5 @@ __all__ = [
     "NotFittedError",
     "InvalidParameterError",
     "StorageError",
+    "ServerOverloadedError",
 ]

@@ -110,6 +110,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="micro-batch accumulation deadline in milliseconds",
     )
     serve.add_argument(
+        "--concurrent-batches", type=int, default=1, metavar="W",
+        help="in-flight batch worker pool width (1 serializes batches; "
+        "per-batch I/O scopes keep accounting exact when overlapped)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="Q",
+        help="bound the admission queue to Q waiting requests "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--overflow", choices=("wait", "reject"), default="wait",
+        help="full-queue policy: wait (backpressure) or reject "
+        "(fail fast with ServerOverloadedError)",
+    )
+    serve.add_argument(
         "--iops", type=float, default=4000.0,
         help="modeled page reads/second per simulated disk (0 disables)",
     )
@@ -264,6 +279,7 @@ def _cmd_serve_bench(args) -> int:
         ("--clients", args.clients, 1),
         ("--requests", args.requests, 1),
         ("--max-batch", args.max_batch, 1),
+        ("--concurrent-batches", args.concurrent_batches, 1),
         ("--shards", args.shards, 1),
         ("--shard-workers", args.shard_workers, 1),
     ):
@@ -272,6 +288,11 @@ def _cmd_serve_bench(args) -> int:
             return 2
     if args.max_wait_ms < 0.0:
         print(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}", file=sys.stderr)
+        return 2
+    if args.queue_depth is not None and args.queue_depth < 1:
+        print(
+            f"--queue-depth must be >= 1, got {args.queue_depth}", file=sys.stderr
+        )
         return 2
     dataset, index = make_serving_index(
         dataset_name=args.dataset,
@@ -284,7 +305,13 @@ def _cmd_serve_bench(args) -> int:
     print(f"dataset: {dataset!r} ({dataset.description})")
     print(
         f"serving {args.clients} closed-loop clients x {args.requests} requests, "
-        f"k={args.k}, modeled "
+        f"k={args.k}, {args.concurrent_batches} in-flight batch(es), "
+        + (
+            f"queue depth {args.queue_depth} ({args.overflow})"
+            if args.queue_depth is not None
+            else "unbounded queue"
+        )
+        + ", modeled "
         + (f"{args.iops:.0f} IOPS/disk" if args.iops > 0 else "free I/O")
     )
     arms = [
@@ -301,13 +328,17 @@ def _cmd_serve_bench(args) -> int:
             requests_per_client=args.requests,
             max_batch_size=max_batch,
             max_wait_ms=wait_ms,
+            max_concurrent_batches=args.concurrent_batches,
+            max_queue_depth=args.queue_depth,
+            overflow=args.overflow,
         )
         rows.append(row)
+        shed = f"  shed {row['n_rejected']}" if row["n_rejected"] else ""
         print(
             f"  {label:24s} {row['throughput_rps']:8.1f} req/s  "
             f"mean latency {row['mean_latency_ms']:7.2f}ms  "
             f"mean batch {row['mean_batch_size']:5.1f}  "
-            f"pages/req {row['mean_pages_per_request']:6.1f}"
+            f"pages/req {row['mean_pages_per_request']:6.1f}{shed}"
         )
     print(
         f"micro-batching speedup: "

@@ -201,12 +201,12 @@ class BrePartitionIndex:
                 f"k must be in [1, {self.transforms.n_points}], got {k}"
             )
 
-        self.tracker.start_query()
+        scope = self.tracker.scope()
         start = time.perf_counter()
-        ctx = QueryBatchContext(queries=query[None, :], k=k, single=True)
+        ctx = QueryBatchContext(queries=query[None, :], k=k, single=True, scope=scope)
         self.pipeline.run(ctx)
         elapsed = time.perf_counter() - start
-        snapshot = self.tracker.end_query()
+        snapshot = self.tracker.finish_scope(scope)
 
         candidates = ctx.candidates[0]
         top_ids, exact = ctx.refined[0]
@@ -262,12 +262,15 @@ class BrePartitionIndex:
             )
         n_queries = queries.shape[0]
 
-        self.tracker.start_query()
+        # an explicit scope (not tracker-global state) makes this driver
+        # re-entrant: concurrent in-flight batches each dedup and count
+        # against their own scope, so per-batch pages_read stays exact
+        scope = self.tracker.scope()
         start = time.perf_counter()
-        ctx = QueryBatchContext(queries=queries, k=k)
+        ctx = QueryBatchContext(queries=queries, k=k, scope=scope)
         self.pipeline.run(ctx)
         elapsed = time.perf_counter() - start
-        snapshot = self.tracker.end_query()
+        snapshot = self.tracker.finish_scope(scope)
 
         results: list[SearchResult] = []
         unshared_pages = 0

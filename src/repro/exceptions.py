@@ -40,3 +40,13 @@ class InvalidParameterError(ReproError, ValueError):
 
 class StorageError(ReproError, RuntimeError):
     """The simulated disk was used incorrectly (bad address, page overflow)."""
+
+
+class ServerOverloadedError(ReproError, RuntimeError):
+    """The serving layer's admission queue is full.
+
+    Raised by :class:`~repro.serve.MicroBatcher` in fast-fail overflow
+    mode when a request arrives while ``max_queue_depth`` requests are
+    already waiting for dispatch -- the load-shedding half of the
+    serving backpressure story (the other half awaits admission).
+    """

@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..storage.io_stats import QueryScope
+
 __all__ = ["QueryBatchContext"]
 
 
@@ -41,6 +43,12 @@ class QueryBatchContext:
     #: stages then reproduce the scalar single-query path bit for bit
     #: (scalar triples, ``range_union``, ``datastore.fetch``).
     single: bool = False
+    #: this request's private I/O scope (dedup set + counters), opened
+    #: by the driver via ``tracker.scope()`` and threaded through every
+    #: storage charge -- what lets several contexts be in flight on one
+    #: index concurrently without corrupting each other's page counts.
+    #: ``None`` for charge-free partial runs (``refine_prefetched``).
+    scope: Optional[QueryScope] = None
 
     # -- Plan outputs ---------------------------------------------------
     #: per-query candidate id arrays (sorted, unique).

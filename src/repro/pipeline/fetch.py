@@ -10,10 +10,13 @@ any modeled device latency (`BrePartitionConfig.simulated_io_iops`;
 independent disks), then peeks its slab into the union-ordered vector
 array.  Single contexts reproduce ``datastore.fetch`` exactly.
 
-The stage also owns the buffer-pool batch epoch: every context bumps
-:meth:`~repro.storage.buffer_pool.BufferPool.begin_batch`, and the pool
-hits this batch scores off pages an *earlier* batch paid for land in
-``ctx.cross_batch_hits``.
+The stage also owns the buffer-pool batch epoch: every context opens a
+fresh :meth:`~repro.storage.buffer_pool.BufferPool.begin_batch` epoch,
+stamps it onto its :class:`~repro.storage.io_stats.QueryScope`, and the
+pool hits this batch scores off pages an *earlier* (or concurrently
+in-flight other) batch paid for land in ``ctx.cross_batch_hits``.  All
+charging threads ``ctx.scope`` so concurrent contexts never mix their
+page accounting.
 """
 
 from __future__ import annotations
@@ -49,17 +52,22 @@ class FetchStage(PipelineStage):
 
     def run(self, ctx: QueryBatchContext) -> None:
         pool = self.index.buffer_pool
-        hits_before = pool.cross_batch_hits if pool is not None else 0
         if pool is not None:
-            pool.begin_batch()
+            epoch = pool.begin_batch()
+            if ctx.scope is not None:
+                ctx.scope.pool_epoch = epoch
         if ctx.single:
-            ctx.vectors = self.index.datastore.fetch(ctx.candidates[0])
+            ctx.vectors = self.index.datastore.fetch(
+                ctx.candidates[0], scope=ctx.scope
+            )
         elif isinstance(self.index.datastore, ShardedDataStore):
             self._fetch_fanout(ctx)
         else:
             self._fetch_single_disk(ctx)
-        if pool is not None:
-            ctx.cross_batch_hits = pool.cross_batch_hits - hits_before
+        if pool is not None and ctx.scope is not None:
+            # the scope's own counter, not a global delta: exact even
+            # with other batches hitting the pool mid-flight
+            ctx.cross_batch_hits = ctx.scope.cross_batch_hits
 
     # ------------------------------------------------------------------
     # batch fetch, one simulated disk
@@ -69,20 +77,21 @@ class FetchStage(PipelineStage):
         index = self.index
         store = index.datastore
         ctx.union, ctx.row_of = union_rows(ctx.candidates, index.transforms.n_points)
-        read_before = index.tracker.total_pages_read
-        ctx.pages_coalesced = store.charge_pages_for(ctx.candidates)
-        if index.config.simulated_io_iops is not None:
+        ctx.pages_coalesced, charged = store.charge_pages_detailed(
+            ctx.candidates, scope=ctx.scope
+        )
+        if index.config.simulated_io_iops is not None and charged > 0:
             # latency is modeled only on pages that hit the simulated
-            # disk: the tracker delta excludes buffer-pool hits and
-            # query-scope dedup, mirroring the sharded fan-out (which
-            # pays the same model through ShardExecutor.io_wait)
+            # disk: the per-call charged count excludes buffer-pool hits
+            # and scope dedup, mirroring the sharded fan-out (which pays
+            # the same model through ShardExecutor.io_wait) -- and,
+            # unlike a tracker-total delta, stays exact when other
+            # batches charge the same tracker concurrently
             io_model = IOCostModel(
                 page_size_bytes=index.config.page_size_bytes,
                 iops=index.config.simulated_io_iops,
             )
-            charged = index.tracker.total_pages_read - read_before
-            if charged > 0:
-                time.sleep(io_model.seconds_for(charged))
+            time.sleep(io_model.seconds_for(charged))
         ctx.vectors = store.peek(ctx.union)
 
     # ------------------------------------------------------------------
@@ -111,22 +120,25 @@ class FetchStage(PipelineStage):
 
             def task():
                 # modeled latency is paid only on pages that actually hit
-                # the simulated disk: the shard tracker's delta excludes
-                # buffer-pool hits and query-scope dedup, while the
-                # returned (pool-oblivious) count feeds pages_coalesced
-                tracker = store.shard_trackers[s]
-                read_before = tracker.total_pages_read
-                pages = store.charge_shard(s, plan[s])
-                executor.io_wait(tracker.total_pages_read - read_before)
+                # the simulated disk: the per-call charged count excludes
+                # buffer-pool hits and scope dedup, while the returned
+                # distinct (pool-oblivious) count feeds pages_coalesced.
+                # Per-call, not a tracker delta -- concurrent batches
+                # share the shard trackers but never each other's scope
+                distinct, charged = store.charge_shard_detailed(
+                    s, plan[s], scope=ctx.scope
+                )
+                executor.io_wait(charged)
                 if positions.size:
                     vectors[positions] = store.shards[s].peek(local_rows)
-                return pages
+                return distinct
 
             return task
 
-        store.begin_charge()
         pages, seconds = executor.run([make_task(s) for s in range(store.n_shards)])
         ctx.vectors = vectors
         ctx.pages_coalesced = int(sum(pages))
-        ctx.pages_per_shard = list(store.last_charge_per_shard)
+        # per-shard split from this batch's own task results, not the
+        # store's shared last_charge_per_shard (racy across batches)
+        ctx.pages_per_shard = [int(p) for p in pages]
         ctx.shard_seconds = seconds

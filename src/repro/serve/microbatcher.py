@@ -8,15 +8,28 @@ latency/throughput trade: a batch is dispatched as soon as
 ``max_batch_size`` requests are pending, or ``max_wait_ms`` after its
 first request arrived, whichever comes first.
 
-The event loop only queues requests and resolves futures; each batch's
-``search_batch`` call runs on a single dedicated worker thread (batches
-serialize there, keeping the index's per-query I/O-tracker scopes from
-interleaving), inside which the sharded Fetch stage still fans out
-across its own :class:`~repro.exec.ShardExecutor` pool.  Responses are
-the exact per-query :class:`~repro.core.results.SearchResult` records,
-bitwise identical to a direct ``index.search`` call -- the pipeline's
-single/batch parity contract is what makes transparent micro-batching
-sound.
+The event loop only queues requests and resolves futures; batches run
+``search_batch`` on a worker pool of ``max_concurrent_batches`` threads.
+Overlapping in-flight batches are safe because the index drivers open a
+private :class:`~repro.storage.io_stats.QueryScope` per call -- each
+batch dedups and counts pages against its own scope, so per-batch
+``pages_read`` stays exact and per-shard totals still sum to the
+aggregate (``1``, the default, serializes batches exactly as before).
+Inside each call the sharded Fetch stage still fans out across its own
+:class:`~repro.exec.ShardExecutor` pool, and the modeled I/O sleeps of
+concurrent batches overlap like requests against real disks.
+
+Overload is bounded: at most ``max_queue_depth`` requests may wait for
+dispatch.  Arrivals beyond that either await admission (``overflow
+= "wait"``, backpressure onto the client) or fail fast with
+:class:`~repro.exceptions.ServerOverloadedError` (``overflow =
+"reject"``, load shedding), so a persistent server degrades gracefully
+instead of queueing without bound.
+
+Responses are the exact per-query
+:class:`~repro.core.results.SearchResult` records, bitwise identical to
+a direct ``index.search`` call -- the pipeline's single/batch parity
+contract is what makes transparent micro-batching sound.
 """
 
 from __future__ import annotations
@@ -30,9 +43,11 @@ from typing import Deque, Optional
 import numpy as np
 
 from ..core.results import BatchQueryStats, SearchResult
-from ..exceptions import InvalidParameterError
+from ..exceptions import InvalidParameterError, ServerOverloadedError
 
 __all__ = ["MicroBatchConfig", "MicroBatcher", "ServeStats"]
+
+_OVERFLOW_MODES = ("wait", "reject")
 
 
 @dataclass
@@ -50,10 +65,28 @@ class MicroBatchConfig:
         request arrived, full or not.  ``0`` dispatches on the next
         event-loop tick, trading all coalescing opportunity for minimum
         queueing latency.
+    max_concurrent_batches:
+        Worker threads dispatching batches.  ``1`` (default) serializes
+        batches; higher values overlap in-flight batches -- exact
+        per-batch accounting is preserved by the per-call query scopes,
+        and overlapped modeled-I/O waits are where serving throughput
+        scales past one batch at a time.
+    max_queue_depth:
+        Most requests allowed to wait for dispatch at once; ``None``
+        (default) is unbounded.  What happens at the bound is
+        ``overflow``'s call.
+    overflow:
+        ``"wait"`` (default) parks over-limit requests until queue space
+        frees (backpressure); ``"reject"`` fails them immediately with
+        :class:`~repro.exceptions.ServerOverloadedError` (load
+        shedding).
     """
 
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
+    max_concurrent_batches: int = 1
+    max_queue_depth: Optional[int] = None
+    overflow: str = "wait"
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -63,6 +96,19 @@ class MicroBatchConfig:
         if self.max_wait_ms < 0.0:
             raise InvalidParameterError(
                 f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_concurrent_batches < 1:
+            raise InvalidParameterError(
+                f"max_concurrent_batches must be >= 1, "
+                f"got {self.max_concurrent_batches}"
+            )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise InvalidParameterError(
+                f"max_queue_depth must be >= 1 or None, got {self.max_queue_depth}"
+            )
+        if self.overflow not in _OVERFLOW_MODES:
+            raise InvalidParameterError(
+                f"overflow must be one of {_OVERFLOW_MODES}, got {self.overflow!r}"
             )
 
 
@@ -81,13 +127,28 @@ class ServeStats:
     Counters are exact over the whole lifetime; the per-batch history
     windows (``batch_sizes``, ``batch_stats``) keep only the most
     recent dispatches so a persistent server cannot grow them without
-    bound.
+    bound.  ``n_requests`` counts *dispatched* requests -- including
+    those whose client later cancelled or whose batch failed -- so
+    ``mean_batch_size`` always agrees with the dispatched
+    ``batch_sizes``; the outcome split rides in ``n_cancelled`` /
+    ``n_failed``.
     """
 
-    #: requests answered (successfully resolved futures).
+    #: requests dispatched in batches (counted at dispatch, whatever
+    #: their eventual outcome -- resolved, cancelled or failed; always
+    #: the sum of every entry ever appended to ``batch_sizes``).
     n_requests: int = 0
-    #: batches dispatched to the worker thread.
+    #: batches dispatched (including the rare batch whose dispatch
+    #: itself fails -- its requests land in ``n_failed``).
     n_batches: int = 0
+    #: dispatched requests whose client cancelled or abandoned the
+    #: future before the batch resolved.
+    n_cancelled: int = 0
+    #: dispatched requests failed by a batch (or dispatch) error.
+    n_failed: int = 0
+    #: requests refused at admission (``overflow="reject"`` queue-full
+    #: fast fails; never dispatched, never in ``n_requests``).
+    n_rejected: int = 0
     #: simulated pages charged across all served batches.
     total_pages_read: int = 0
     #: effective sizes of the most recent dispatches, in dispatch order.
@@ -123,13 +184,16 @@ class MicroBatcher:
     k:
         Neighbours returned per request.
     config:
-        The :class:`MicroBatchConfig` deadlines; keyword overrides
-        ``max_batch_size`` / ``max_wait_ms`` apply on top of it.
+        The :class:`MicroBatchConfig` deadlines and limits; keyword
+        overrides (``max_batch_size`` / ``max_wait_ms`` /
+        ``max_concurrent_batches`` / ``max_queue_depth`` / ``overflow``)
+        apply on top of it.
 
     All coordination state is owned by the event loop thread (submit,
-    flush and resolve all run there), so no locks are needed; only the
-    pipeline itself runs on the worker thread.  One batcher serves one
-    event loop at a time.
+    admission, flush and resolve all run there), so no locks are needed;
+    only the pipeline itself runs on the worker pool, where the index's
+    per-call query scopes keep overlapping batches exact.  One batcher
+    serves one event loop at a time.
     """
 
     def __init__(
@@ -139,6 +203,9 @@ class MicroBatcher:
         config: Optional[MicroBatchConfig] = None,
         max_batch_size: Optional[int] = None,
         max_wait_ms: Optional[float] = None,
+        max_concurrent_batches: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        overflow: Optional[str] = None,
     ) -> None:
         config = config if config is not None else MicroBatchConfig()
         overrides = {}
@@ -146,6 +213,12 @@ class MicroBatcher:
             overrides["max_batch_size"] = max_batch_size
         if max_wait_ms is not None:
             overrides["max_wait_ms"] = max_wait_ms
+        if max_concurrent_batches is not None:
+            overrides["max_concurrent_batches"] = max_concurrent_batches
+        if max_queue_depth is not None:
+            overrides["max_queue_depth"] = max_queue_depth
+        if overflow is not None:
+            overrides["overflow"] = overflow
         if overrides:
             config = replace(config, **overrides)
         if k < 1:
@@ -157,12 +230,19 @@ class MicroBatcher:
         self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
         self._timer: Optional[asyncio.TimerHandle] = None
         self._inflight: set = set()
+        self._admission_waiters: Deque[asyncio.Future] = deque()
+        #: queue slots granted to woken waiters that have not appended
+        #: yet -- counted against ``max_queue_depth`` so the handoff is
+        #: exact (see :meth:`_admit`).
+        self._reserved = 0
         self._closed = False
-        # one worker thread: batches serialize on it, so the index's
-        # tracker query scopes never interleave; the sharded Fetch stage
-        # still fans out across the ShardExecutor pool inside the call
+        # the batch worker pool: max_concurrent_batches=1 serializes
+        # batches (the pre-scoped-tracker behaviour); wider pools
+        # overlap in-flight batches, each searching under its own
+        # tracker QueryScope so accounting never interleaves
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve"
+            max_workers=config.max_concurrent_batches,
+            thread_name_prefix="repro-serve",
         )
 
     # ------------------------------------------------------------------
@@ -174,20 +254,28 @@ class MicroBatcher:
 
         Malformed queries (wrong shape or domain violations) are raised
         eagerly to this caller instead of poisoning the batch the query
-        would have joined.
+        would have joined.  When the admission queue is full, either
+        waits for space (``overflow="wait"``) or raises
+        :class:`~repro.exceptions.ServerOverloadedError`
+        (``overflow="reject"``) before the query is queued at all.
         """
         if self._closed:
             raise InvalidParameterError("MicroBatcher is closed")
         query = np.asarray(query, dtype=float)
-        expected = self._dimensionality()
-        if query.ndim != 1 or (expected is not None and query.size != expected):
-            raise InvalidParameterError(
-                f"query must be a 1-D vector"
-                + (f" of {expected} dimensions" if expected is not None else "")
-                + f", got shape {query.shape}"
-            )
+        self._check_dimension(query)
         self.index.divergence.validate_domain(query, "query")
         loop = asyncio.get_running_loop()
+        await self._admit(loop)
+        if self._dimensionality() is None:
+            # re-check after waiting at the door: with no index-declared
+            # dimensionality, the queue may have drained and refilled
+            # around a de-facto dimension this query no longer matches
+            try:
+                self._check_dimension(query)
+            except BaseException:
+                # this request held a queue slot it will never fill
+                self._wake_admission_waiters()
+                raise
         future: asyncio.Future = loop.create_future()
         self._pending.append((query, future))
         if len(self._pending) >= self.config.max_batch_size:
@@ -198,11 +286,97 @@ class MicroBatcher:
             )
         return await future
 
+    def _check_dimension(self, query: np.ndarray) -> None:
+        """Reject a query whose shape cannot join the current batch.
+
+        The expected dimension is the index's, or -- when the index
+        exposes none -- the batch's first pending request's, so a
+        mismatched query fails here, alone, instead of blowing up
+        ``np.stack`` in ``_flush`` and poisoning every future already
+        in the batch.
+        """
+        expected = self._dimensionality()
+        if expected is None and self._pending:
+            expected = int(self._pending[0][0].size)
+        if query.ndim != 1 or (expected is not None and query.size != expected):
+            raise InvalidParameterError(
+                f"query must be a 1-D vector"
+                + (f" of {expected} dimensions" if expected is not None else "")
+                + f", got shape {query.shape}"
+            )
+
+    async def _admit(self, loop) -> None:
+        """Hold the request at the door until the queue has room.
+
+        Admission is FIFO: a freed queue slot is *handed* to the oldest
+        parked waiter (reserved via ``_reserved`` until that waiter
+        appends), and new arrivals park behind existing waiters instead
+        of stealing slots from them -- no starvation under sustained
+        load.
+        """
+        depth = self.config.max_queue_depth
+        if depth is None:
+            return
+        if not self._admission_waiters and len(self._pending) + self._reserved < depth:
+            return
+        if self.config.overflow == "reject":
+            self.stats.n_rejected += 1
+            raise ServerOverloadedError(
+                f"admission queue full ({depth} requests waiting); "
+                f"request rejected (overflow='reject')"
+            )
+        waiter: asyncio.Future = loop.create_future()
+        self._admission_waiters.append(waiter)
+        try:
+            await waiter
+        except BaseException:
+            if waiter.done() and not waiter.cancelled():
+                # granted between wake and resume, but this request will
+                # never append: release the slot to the next waiter
+                self._reserved -= 1
+                self._wake_admission_waiters()
+            else:
+                waiter.cancel()
+                try:
+                    self._admission_waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+        # granted: the slot is reserved for us until the caller appends
+        # (which happens synchronously after _admit returns)
+        self._reserved -= 1
+        if self._closed:
+            self._wake_admission_waiters()
+            raise InvalidParameterError("MicroBatcher is closed")
+
+    def _wake_admission_waiters(self) -> None:
+        """Hand freed queue slots to the oldest parked requests.
+
+        Each grant reserves one slot (``_reserved``) so neither newer
+        waiters nor brand-new arrivals can take it before the granted
+        request resumes and appends.  On shutdown every waiter is woken
+        so it can observe ``_closed`` and fail fast.
+        """
+        depth = self.config.max_queue_depth
+        while self._admission_waiters:
+            if (
+                not self._closed
+                and depth is not None
+                and len(self._pending) + self._reserved >= depth
+            ):
+                break
+            waiter = self._admission_waiters.popleft()
+            if waiter.done():
+                continue
+            self._reserved += 1
+            waiter.set_result(None)
+
     async def close(self) -> None:
-        """Flush the queue, await in-flight batches, stop the worker."""
+        """Flush the queue, await in-flight batches, stop the workers."""
         self._closed = True
         while self._pending:
             self._flush()
+        self._wake_admission_waiters()
         if self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
         self._executor.shutdown(wait=True)
@@ -226,6 +400,7 @@ class MicroBatcher:
             return
         batch = self._pending[: self.config.max_batch_size]
         del self._pending[: self.config.max_batch_size]
+        self._wake_admission_waiters()
         loop = asyncio.get_running_loop()
         if self._pending:
             # overflow requests start a fresh deadline immediately
@@ -233,6 +408,14 @@ class MicroBatcher:
                 self.config.max_wait_ms / 1000.0, self._flush
             )
         futures = [future for _, future in batch]
+        # dispatched: the batch counts now, whatever each request's
+        # eventual outcome -- keeps mean_batch_size consistent with the
+        # batch_sizes history, and keeps the n_cancelled / n_failed
+        # outcome split a true partition of n_requests even when the
+        # dispatch itself fails below
+        self.stats.n_batches += 1
+        self.stats.n_requests += len(batch)
+        self.stats.batch_sizes.append(len(batch))
         try:
             queries = np.stack([query for query, _ in batch])
             task = loop.run_in_executor(
@@ -243,6 +426,9 @@ class MicroBatcher:
             for future in futures:
                 if not future.done():
                     future.set_exception(error)
+                    self.stats.n_failed += 1
+                else:
+                    self.stats.n_cancelled += 1
             return
         self._inflight.add(task)
         task.add_done_callback(lambda done: self._resolve(done, futures))
@@ -255,16 +441,20 @@ class MicroBatcher:
             for future in futures:
                 if not future.done():
                     future.set_exception(error)
+                    self.stats.n_failed += 1
+                else:
+                    self.stats.n_cancelled += 1
             return
         batch = task.result()
-        self.stats.n_batches += 1
-        self.stats.batch_sizes.append(len(batch))
         self.stats.batch_stats.append(batch.stats)
         self.stats.total_pages_read += batch.stats.pages_read
         for future, result in zip(futures, batch.results):
-            self.stats.n_requests += 1
             if not future.done():
                 future.set_result(result)
+            else:
+                # the client cancelled (or abandoned) while the batch
+                # was in flight; the work was still dispatched and done
+                self.stats.n_cancelled += 1
 
     def _dimensionality(self) -> Optional[int]:
         """Expected query dimensionality, when the index exposes one."""
@@ -280,5 +470,6 @@ class MicroBatcher:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MicroBatcher(k={self.k}, max_batch_size="
-            f"{self.config.max_batch_size}, max_wait_ms={self.config.max_wait_ms})"
+            f"{self.config.max_batch_size}, max_wait_ms={self.config.max_wait_ms}, "
+            f"max_concurrent_batches={self.config.max_concurrent_batches})"
         )

@@ -10,7 +10,7 @@ point file that BB-tree leaves reference by address.
 
 from .buffer_pool import BufferPool
 from .datastore import Address, DataStore
-from .io_stats import DiskAccessTracker, IOCostModel, QueryIOSnapshot
+from .io_stats import DiskAccessTracker, IOCostModel, QueryIOSnapshot, QueryScope
 from .sharded import ShardTracker, ShardedDataStore
 
 __all__ = [
@@ -22,4 +22,5 @@ __all__ = [
     "DiskAccessTracker",
     "IOCostModel",
     "QueryIOSnapshot",
+    "QueryScope",
 ]

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Optional
 
 from ..exceptions import InvalidParameterError
+from .io_stats import QueryScope
 
 __all__ = ["BufferPool"]
 
@@ -51,29 +53,50 @@ class BufferPool:
         self._epoch = 0
         self._lock = threading.Lock()
 
-    def begin_batch(self) -> None:
-        """Open a new batch epoch: later hits on pages cached before this
-        call count toward :attr:`cross_batch_hits`."""
+    def begin_batch(self) -> int:
+        """Open a new batch epoch and return it.
+
+        Later hits on pages cached under a *different* epoch count
+        toward :attr:`cross_batch_hits`.  Concurrent batches each open
+        their own epoch (the Fetch stage stamps it onto the batch's
+        :class:`~repro.storage.io_stats.QueryScope`), so a page one
+        in-flight batch inserted still registers as cross-batch reuse
+        when another hits it.
+        """
         with self._lock:
             self._epoch += 1
+            return self._epoch
 
-    def access(self, fileno: int, page: int) -> bool:
+    def access(
+        self, fileno: int, page: int, scope: Optional[QueryScope] = None
+    ) -> bool:
         """Touch a page; returns ``True`` on a cache hit.
 
         Misses insert the page, evicting the least recently used entry
-        when at capacity.
+        when at capacity.  When ``scope`` carries a ``pool_epoch``, the
+        hit/insert is attributed to that epoch and cross-batch hits are
+        also counted onto ``scope.cross_batch_hits`` -- the per-batch
+        figure the pipeline reports; without a scope the pool's current
+        global epoch applies (legacy single-threaded callers).
         """
         key = (fileno, page)
         with self._lock:
+            epoch = (
+                scope.pool_epoch
+                if scope is not None and scope.pool_epoch is not None
+                else self._epoch
+            )
             if key in self._lru:
-                if self._lru[key] != self._epoch:
+                if self._lru[key] != epoch:
                     self.cross_batch_hits += 1
-                self._lru[key] = self._epoch
+                    if scope is not None:
+                        scope.cross_batch_hits += 1
+                self._lru[key] = epoch
                 self._lru.move_to_end(key)
                 self.hits += 1
                 return True
             self.misses += 1
-            self._lru[key] = self._epoch
+            self._lru[key] = epoch
             if len(self._lru) > self.capacity_pages:
                 self._lru.popitem(last=False)
             return False

@@ -13,13 +13,13 @@ holds ``page_size_bytes // (8 * d)`` float64 vectors.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError, StorageError
 from .buffer_pool import BufferPool
-from .io_stats import DiskAccessTracker
+from .io_stats import DiskAccessTracker, QueryScope
 
 __all__ = ["Address", "DataStore"]
 
@@ -132,42 +132,68 @@ class DataStore:
     # I/O-charged access
     # ------------------------------------------------------------------
 
-    def fetch(self, point_ids: Sequence[int]) -> np.ndarray:
+    def fetch(
+        self, point_ids: Sequence[int], scope: Optional[QueryScope] = None
+    ) -> np.ndarray:
         """Read points from disk, charging one I/O per distinct page.
 
-        Returns the vectors in the order of ``point_ids``.
+        Returns the vectors in the order of ``point_ids``.  ``scope``
+        is the query scope the charges dedup against (``None`` falls
+        back to the tracker's ambient scope).
         """
         ids = np.asarray(point_ids, dtype=int)
         for page in self.pages_of(ids):
-            self._charge(int(page))
+            self._charge(int(page), scope)
         return self._storage[self._position[ids]]
 
     def count_pages_of(self, point_ids: Sequence[int]) -> int:
         """Number of distinct pages holding the given points."""
         return int(self.pages_of(point_ids).size)
 
-    def charge_pages_for(self, id_groups: Sequence[Sequence[int]]) -> int:
+    def charge_pages_for(
+        self,
+        id_groups: Sequence[Sequence[int]],
+        scope: Optional[QueryScope] = None,
+    ) -> int:
         """Charge the distinct pages covering all groups exactly once.
 
         The coalescing primitive of the batch engine: a query batch
         charges the union of its candidates' pages here, then reads the
         vectors I/O-free via :meth:`peek`.  Returns the page count.
         """
+        return self.charge_pages_detailed(id_groups, scope)[0]
+
+    def charge_pages_detailed(
+        self,
+        id_groups: Sequence[Sequence[int]],
+        scope: Optional[QueryScope] = None,
+    ) -> Tuple[int, int]:
+        """Like :meth:`charge_pages_for`, returning ``(distinct, charged)``.
+
+        ``distinct`` is the pool-oblivious page count of the working set
+        (the paper's I/O-cost figure); ``charged`` is how many of those
+        actually hit the simulated disk after buffer-pool hits and
+        scope dedup -- what the modeled I/O latency is paid on.  Scoped
+        rather than read off tracker totals so concurrent in-flight
+        batches never bill each other's pages.
+        """
         touched = np.zeros(self.n_pages, dtype=bool)
         for ids in id_groups:
             touched[self._pages[np.asarray(ids, dtype=int)]] = True
         pages = np.flatnonzero(touched)
+        charged = 0
         for page in pages:
-            self._charge(int(page))
-        return int(pages.size)
+            if self._charge(int(page), scope):
+                charged += 1
+        return int(pages.size), charged
 
-    def scan(self) -> np.ndarray:
+    def scan(self, scope: Optional[QueryScope] = None) -> np.ndarray:
         """Sequentially read the whole file (used by linear scan).
 
         Charges every page once and returns points in *logical* id order.
         """
         for page in range(self.n_pages):
-            self._charge(page)
+            self._charge(page, scope)
         return self._storage[self._position]
 
     def peek(self, point_ids: Sequence[int]) -> np.ndarray:
@@ -180,10 +206,13 @@ class DataStore:
         ids = np.asarray(point_ids, dtype=int)
         return self._storage[self._position[ids]]
 
-    def _charge(self, page: int) -> None:
-        if self.buffer_pool is not None and self.buffer_pool.access(self.fileno, page):
-            return
-        self.tracker.read_page(self.fileno, page)
+    def _charge(self, page: int, scope: Optional[QueryScope] = None) -> bool:
+        """Charge one page; ``True`` when it actually hit the disk."""
+        if self.buffer_pool is not None and self.buffer_pool.access(
+            self.fileno, page, scope=scope
+        ):
+            return False
+        return self.tracker.read_page(self.fileno, page, scope=scope)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

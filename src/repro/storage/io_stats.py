@@ -7,11 +7,15 @@ query (re-touching a page already read during the same query is free --
 this is precisely the data-reuse effect PCCP and the BB-forest layout are
 designed to exploit), and global counters accumulate across queries.
 
-Charging is thread-safe: a per-tracker lock serialises the
-read/dedup/count sequence so that the parallel shard fan-out
-(:mod:`repro.exec`) can mirror shard charges into a shared aggregate
-tracker from several worker threads while per-shard totals still sum
-exactly to the aggregate total.
+Query scoping is *explicit*: :meth:`DiskAccessTracker.scope` hands out a
+:class:`QueryScope` carrying its own dedup set and counters, and every
+charge call accepts the scope it should dedup against.  Two queries (or
+two serving micro-batches) can therefore be in flight on the same
+tracker at once without corrupting each other's pages-per-query numbers
+-- the property the concurrent serving layer (:mod:`repro.serve`) rests
+on.  The legacy ``start_query()`` / ``end_query()`` pair survives as a
+thin wrapper that installs one ambient scope (single-threaded baselines
+use it); lifetime totals stay lock-protected and exact either way.
 
 An optional :class:`IOCostModel` converts page counts into estimated
 seconds using a configurable IOPS figure, mirroring the paper's
@@ -21,10 +25,10 @@ discussion of SSD IOPS in Section 5.1.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Iterable, Set
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set
 
-__all__ = ["DiskAccessTracker", "IOCostModel", "QueryIOSnapshot"]
+__all__ = ["DiskAccessTracker", "IOCostModel", "QueryIOSnapshot", "QueryScope"]
 
 
 @dataclass(frozen=True)
@@ -35,79 +39,200 @@ class QueryIOSnapshot:
     pages_written: int
 
 
-class DiskAccessTracker:
-    """Counts simulated page reads/writes with per-query deduplication.
+class QueryScope:
+    """One query's (or one batch's) private I/O accounting scope.
 
-    Usage::
+    Owns the per-query dedup set and counters that used to live on the
+    tracker itself: reads of the same ``(fileno, page)`` within one
+    scope are charged once (simulating the OS page cache over a single
+    working set), and the counts here never mix with a concurrently
+    open scope's.  A scope's internal lock makes it safe to share
+    across the shard fan-out threads of *its own* query; distinct
+    in-flight queries each hold their own scope.
+
+    ``pool_epoch`` / ``cross_batch_hits`` are the buffer-pool epoch
+    bookkeeping: the Fetch stage stamps the scope with the pool epoch it
+    opened, and the pool counts hits on pages a *different* epoch cached
+    into ``cross_batch_hits`` (see :class:`~repro.storage.buffer_pool.BufferPool`).
+    """
+
+    __slots__ = (
+        "tracker",
+        "reads",
+        "writes",
+        "pool_epoch",
+        "cross_batch_hits",
+        "_pages",
+        "_lock",
+        "_finished",
+    )
+
+    def __init__(self, tracker: "DiskAccessTracker") -> None:
+        self.tracker = tracker
+        self.reads = 0
+        self.writes = 0
+        #: buffer-pool epoch this scope's fetches run under (stamped by
+        #: the Fetch stage when a pool is attached; ``None`` otherwise).
+        self.pool_epoch: Optional[int] = None
+        #: pool hits on pages an earlier (or concurrent other) scope
+        #: paid for -- incremented by the pool under its own lock.
+        self.cross_batch_hits = 0
+        self._pages: Set[tuple[int, int]] = set()
+        self._lock = threading.Lock()
+        self._finished = False
+
+    def admit_read(self, fileno: int, page: int) -> bool:
+        """Dedup decision: ``True`` charges the page, ``False`` is free.
+
+        The check-and-insert runs under the scope's lock, so the shard
+        workers of one fan-out never double-charge a shared page.
+        """
+        with self._lock:
+            key = (fileno, page)
+            if key in self._pages:
+                return False
+            self._pages.add(key)
+            self.reads += 1
+            return True
+
+    def admit_write(self) -> None:
+        """Count a write within this scope (writes never dedup)."""
+        with self._lock:
+            self.writes += 1
+
+    def snapshot(self) -> QueryIOSnapshot:
+        """This scope's I/O activity so far."""
+        with self._lock:
+            return QueryIOSnapshot(pages_read=self.reads, pages_written=self.writes)
+
+    def finish(self) -> QueryIOSnapshot:
+        """Close the scope: bump the tracker's query count once and
+        return the final snapshot.  Idempotent."""
+        with self._lock:
+            if not self._finished:
+                self._finished = True
+                first = True
+            else:
+                first = False
+            snap = QueryIOSnapshot(pages_read=self.reads, pages_written=self.writes)
+        if first:
+            self.tracker._count_query()
+        return snap
+
+    def __enter__(self) -> "QueryScope":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryScope(reads={self.reads}, writes={self.writes})"
+
+
+class DiskAccessTracker:
+    """Counts simulated page reads/writes with per-scope deduplication.
+
+    Scoped usage (safe under concurrent in-flight queries)::
+
+        with tracker.scope() as scope:
+            tracker.read_page(fileno, page, scope=scope)
+        snapshot = scope.snapshot()
+
+    Legacy ambient usage (single-threaded callers only)::
 
         tracker.start_query()
         tracker.read_page(fileno, page)   # charged once per (fileno, page)
         snapshot = tracker.end_query()
+
+    Lifetime totals (``total_pages_read`` / ``total_pages_written`` /
+    ``queries``) are serialised by the tracker's lock, so concurrent
+    scopes -- and the parallel shard fan-out mirroring charges into a
+    shared aggregate tracker -- always sum exactly.
     """
 
     def __init__(self) -> None:
         self.total_pages_read = 0
         self.total_pages_written = 0
         self.queries = 0
-        self._in_query = False
-        self._query_pages: Set[tuple[int, int]] = set()
-        self._query_reads = 0
-        self._query_writes = 0
+        #: the ambient scope installed by :meth:`start_query` (legacy
+        #: single-threaded API); explicit scopes take precedence.
+        self._active: Optional[QueryScope] = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # query lifecycle
     # ------------------------------------------------------------------
 
+    def scope(self) -> QueryScope:
+        """Open a fresh, private query scope (not installed anywhere).
+
+        Charge calls must pass it explicitly; any number of scopes may
+        be in flight on one tracker at once.
+        """
+        return QueryScope(self)
+
+    def finish_scope(self, scope: QueryScope) -> QueryIOSnapshot:
+        """Close ``scope`` (counting one completed query) and return its
+        snapshot."""
+        return scope.finish()
+
     def start_query(self) -> None:
-        """Begin a query scope; page reads dedupe until :meth:`end_query`."""
-        self._in_query = True
-        self._query_pages = set()
-        self._query_reads = 0
-        self._query_writes = 0
+        """Begin an ambient query scope; reads dedupe until :meth:`end_query`.
+
+        Legacy API for single-threaded callers (baselines, VA-file); the
+        concurrent engine threads explicit :meth:`scope` objects instead.
+        """
+        self._active = self.scope()
 
     def end_query(self) -> QueryIOSnapshot:
-        """Close the query scope and return its I/O snapshot."""
-        self._in_query = False
-        self.queries += 1
-        return QueryIOSnapshot(
-            pages_read=self._query_reads, pages_written=self._query_writes
-        )
+        """Close the ambient query scope and return its I/O snapshot."""
+        scope, self._active = self._active, None
+        if scope is None:
+            return QueryIOSnapshot(pages_read=0, pages_written=0)
+        return scope.finish()
+
+    def _count_query(self) -> None:
+        with self._lock:
+            self.queries += 1
 
     # ------------------------------------------------------------------
     # charging
     # ------------------------------------------------------------------
 
-    def read_page(self, fileno: int, page: int) -> bool:
+    def read_page(
+        self, fileno: int, page: int, scope: Optional[QueryScope] = None
+    ) -> bool:
         """Charge a page read; returns ``True`` when actually charged.
 
-        Inside a query scope, re-reads of the same ``(fileno, page)`` are
-        free (simulating the OS page cache within one query's working
-        set).  Outside a scope every call is charged.
-
-        The dedup-then-count sequence runs under the tracker's lock, so
-        concurrent shard workers charging disjoint pages never lose an
-        increment and the dedup decision stays exact.
+        Within a scope (explicit ``scope`` argument, or the ambient one
+        installed by :meth:`start_query`), re-reads of the same
+        ``(fileno, page)`` are free.  Outside any scope every call is
+        charged.  The dedup decision runs under the scope's lock and the
+        lifetime total under the tracker's, so concurrent shard workers
+        charging disjoint pages never lose an increment and the dedup
+        stays exact.
         """
+        scope = scope if scope is not None else self._active
+        if scope is not None and not scope.admit_read(fileno, page):
+            return False
         with self._lock:
-            if self._in_query:
-                key = (fileno, page)
-                if key in self._query_pages:
-                    return False
-                self._query_pages.add(key)
-                self._query_reads += 1
             self.total_pages_read += 1
-            return True
+        return True
 
-    def read_pages(self, fileno: int, pages: Iterable[int]) -> int:
+    def read_pages(
+        self, fileno: int, pages: Iterable[int], scope: Optional[QueryScope] = None
+    ) -> int:
         """Charge several pages; returns how many were actually charged."""
-        return sum(1 for page in pages if self.read_page(fileno, page))
+        return sum(1 for page in pages if self.read_page(fileno, page, scope=scope))
 
-    def write_page(self, fileno: int, page: int) -> None:
+    def write_page(
+        self, fileno: int, page: int, scope: Optional[QueryScope] = None
+    ) -> None:
         """Charge a page write (used by index construction)."""
+        scope = scope if scope is not None else self._active
+        if scope is not None:
+            scope.admit_write()
         with self._lock:
-            if self._in_query:
-                self._query_writes += 1
             self.total_pages_written += 1
 
     # ------------------------------------------------------------------
@@ -122,8 +247,19 @@ class DiskAccessTracker:
         return self.total_pages_read / self.queries
 
     def reset(self) -> None:
-        """Zero all counters (between experiment runs)."""
-        self.__init__()
+        """Zero all counters (between experiment runs).
+
+        Runs under the existing lock -- the lock object itself is never
+        replaced, so shard workers mid-charge on other threads serialise
+        against the reset instead of racing a half-reinitialised
+        tracker.  Open scopes are not touched (their charges after the
+        reset count toward the fresh totals).
+        """
+        with self._lock:
+            self.total_pages_read = 0
+            self.total_pages_written = 0
+            self.queries = 0
+        self._active = None
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,9 @@ point ids and route per shard internally.
 Accounting semantics:
 
 * every charged page is counted on its shard's own tracker *and*
-  mirrored into the shared aggregate tracker (the one the index scopes
-  with ``start_query``/``end_query``), so existing per-query and batch
+  mirrored into the shared aggregate tracker (the one whose
+  :class:`~repro.storage.io_stats.QueryScope` objects the search
+  drivers open per query/batch), so existing per-query and batch
   statistics keep working unchanged;
 * the aggregate tracker's query-scope deduplication decides whether a
   page is charged at all -- a page deduplicated (or absorbed by the
@@ -32,14 +33,14 @@ shard keeps leaf-level locality.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import InvalidParameterError, StorageError
 from .buffer_pool import BufferPool
 from .datastore import Address, DataStore
-from .io_stats import DiskAccessTracker
+from .io_stats import DiskAccessTracker, QueryScope
 
 __all__ = ["ShardTracker", "ShardedDataStore"]
 
@@ -56,23 +57,20 @@ class ShardTracker(DiskAccessTracker):
         super().__init__()
         self.aggregate = aggregate
 
-    def read_page(self, fileno: int, page: int) -> bool:
-        if not self.aggregate.read_page(fileno, page):
+    def read_page(
+        self, fileno: int, page: int, scope: Optional[QueryScope] = None
+    ) -> bool:
+        if not self.aggregate.read_page(fileno, page, scope=scope):
             return False
+        # the shard's own lifetime count: no scope here -- the dedup
+        # decision already happened (once) on the aggregate
         return super().read_page(fileno, page)
 
-    def write_page(self, fileno: int, page: int) -> None:
-        self.aggregate.write_page(fileno, page)
+    def write_page(
+        self, fileno: int, page: int, scope: Optional[QueryScope] = None
+    ) -> None:
+        self.aggregate.write_page(fileno, page, scope=scope)
         super().write_page(fileno, page)
-
-    def reset(self) -> None:
-        """Zero this shard's counters; the aggregate is left untouched.
-
-        (The base class resets by re-running ``__init__``, which needs
-        the aggregate argument here.)  Reset the aggregate and every
-        shard tracker together to keep their totals in sync.
-        """
-        self.__init__(self.aggregate)
 
 
 class ShardedDataStore:
@@ -227,12 +225,14 @@ class ShardedDataStore:
     # I/O-charged access
     # ------------------------------------------------------------------
 
-    def fetch(self, point_ids: Sequence[int]) -> np.ndarray:
+    def fetch(
+        self, point_ids: Sequence[int], scope: Optional[QueryScope] = None
+    ) -> np.ndarray:
         """Read points, charging each shard for its distinct pages."""
         ids = np.asarray(point_ids, dtype=int)
         for _, store, _, local in self._route(ids):
             if local.size:
-                store.charge_pages_for([local])
+                store.charge_pages_for([local], scope=scope)
         return self.peek(ids)
 
     def shard_charge_plan(
@@ -251,17 +251,44 @@ class ShardedDataStore:
                 local_groups[s].append(local)
         return local_groups
 
-    def charge_shard(self, shard: int, local_groups: Sequence[Sequence[int]]) -> int:
+    def charge_shard(
+        self,
+        shard: int,
+        local_groups: Sequence[Sequence[int]],
+        scope: Optional[QueryScope] = None,
+    ) -> int:
         """Charge one shard's slice of the batch's page union.
 
-        Records the count in :attr:`last_charge_per_shard` (callers
-        fanning out reset the list first via :meth:`begin_charge`).
-        Thread-safe with respect to other shards: each shard writes its
-        own list slot, and the underlying trackers lock internally.
+        ``scope`` is the charging batch's query scope (dedup and
+        per-batch counters live there, so concurrent batches stay
+        exact).  Records the count in :attr:`last_charge_per_shard`
+        (callers fanning out reset the list first via
+        :meth:`begin_charge`) -- a convenience for single-batch callers
+        only; the concurrent engine goes through
+        :meth:`charge_shard_detailed`, which leaves the shared list
+        alone and reports everything in its return value.  Thread-safe
+        with respect to other shards: each shard writes its own list
+        slot, and the underlying trackers lock internally.
         """
-        pages = self.shards[shard].charge_pages_for(local_groups)
-        self.last_charge_per_shard[shard] = pages
-        return pages
+        distinct, _ = self.charge_shard_detailed(shard, local_groups, scope=scope)
+        self.last_charge_per_shard[shard] = distinct
+        return distinct
+
+    def charge_shard_detailed(
+        self,
+        shard: int,
+        local_groups: Sequence[Sequence[int]],
+        scope: Optional[QueryScope] = None,
+    ) -> Tuple[int, int]:
+        """Like :meth:`charge_shard`, returning ``(distinct, charged)``.
+
+        ``charged`` counts the pages that actually hit this shard's
+        simulated disk (after pool hits and scope dedup) -- what the
+        fan-out tasks pay modeled latency on.  Touches no shared store
+        state (:attr:`last_charge_per_shard` is left alone), so any
+        number of batches may fan out over the same store concurrently.
+        """
+        return self.shards[shard].charge_pages_detailed(local_groups, scope=scope)
 
     def begin_charge(self) -> None:
         """Reset the per-shard fan-out record before a set of
@@ -284,7 +311,11 @@ class ShardedDataStore:
             splits.append((positions, self._local[ids[positions]]))
         return splits
 
-    def charge_pages_for(self, id_groups: Sequence[Sequence[int]]) -> int:
+    def charge_pages_for(
+        self,
+        id_groups: Sequence[Sequence[int]],
+        scope: Optional[QueryScope] = None,
+    ) -> int:
         """Fan the batch's page-union charge out across the shards.
 
         Each shard charges the distinct pages covering its slice of all
@@ -294,14 +325,16 @@ class ShardedDataStore:
         """
         plan = self.shard_charge_plan(id_groups)
         self.begin_charge()
-        return sum(self.charge_shard(s, plan[s]) for s in range(self.n_shards))
+        return sum(
+            self.charge_shard(s, plan[s], scope=scope) for s in range(self.n_shards)
+        )
 
-    def scan(self) -> np.ndarray:
+    def scan(self, scope: Optional[QueryScope] = None) -> np.ndarray:
         """Read every shard file fully; returns points in logical order."""
         for store in self.shards:
             # charge all the shard's pages without materialising its
             # points (the gather below reads everything once, globally)
-            store.charge_pages_for([np.arange(store.n_points)])
+            store.charge_pages_for([np.arange(store.n_points)], scope=scope)
         return self.peek(np.arange(self.n_points))
 
     def peek(self, point_ids: Sequence[int]) -> np.ndarray:

@@ -328,7 +328,7 @@ class TestShardedDataStore:
         store.fetch(np.arange(20))
         tracker = store.shard_trackers[0]
         assert tracker.total_pages_read > 0
-        tracker.reset()  # base-class reset re-runs __init__; must not raise
+        tracker.reset()  # zeroes under the existing lock; aggregate untouched
         assert tracker.total_pages_read == 0
         assert tracker.aggregate is store.tracker
 

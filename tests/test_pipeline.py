@@ -12,6 +12,7 @@ response bitwise identical to a direct ``search`` call.
 from __future__ import annotations
 
 import asyncio
+import time
 
 import numpy as np
 import pytest
@@ -23,7 +24,11 @@ from repro import (
     SquaredEuclidean,
     brute_force_knn,
 )
-from repro.exceptions import DomainError, InvalidParameterError
+from repro.exceptions import (
+    DomainError,
+    InvalidParameterError,
+    ServerOverloadedError,
+)
 from repro.pipeline import (
     PipelineStage,
     QueryBatchContext,
@@ -364,3 +369,231 @@ class TestMicroBatcher:
         engine = stats.batch_stats[0]
         assert engine.n_queries == stats.batch_sizes[0]
         assert tuple(engine.stage_seconds) == STAGE_NAMES
+
+
+class _HeadlessIndex:
+    """An index proxy exposing only ``search_batch`` + ``divergence``.
+
+    Models a serving target with no declared dimensionality (the
+    MicroBatcher's ``_dimensionality`` probes find nothing), so batch
+    shape consistency must come from the first pending request.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.divergence = inner.divergence
+
+    def search_batch(self, queries, k):
+        return self._inner.search_batch(queries, k)
+
+
+class _SlowIndex(_HeadlessIndex):
+    """Delays each batch on the worker thread (cancellation windows)."""
+
+    def __init__(self, inner, delay_seconds: float) -> None:
+        super().__init__(inner)
+        self.delay_seconds = delay_seconds
+
+    def search_batch(self, queries, k):
+        time.sleep(self.delay_seconds)
+        return self._inner.search_batch(queries, k)
+
+
+class TestConcurrentServing:
+    """ISSUE 5: overlapped in-flight batches, backpressure, accounting."""
+
+    def _index(self, **kwargs):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        return build_index(divergence, points, **kwargs), points
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_parity_matrix_vs_direct_search(self, workers):
+        # acceptance: with max_concurrent_batches in {1, 4}, every served
+        # response is bitwise identical to direct search -- under the
+        # sharded fan-out, so shard-tracker mirroring is also exercised
+        # by overlapping batch scopes
+        index, _ = self._index(n_shards=4, page_size_bytes=PAGE_BYTES)
+        index.config.shard_workers = 2
+        queries = points_for(SquaredEuclidean(), 32, DIM, seed=2)
+        reference = [index.search(query, K) for query in queries]
+
+        async def serve():
+            async with MicroBatcher(
+                index,
+                K,
+                max_batch_size=8,
+                max_wait_ms=50.0,
+                max_concurrent_batches=workers,
+            ) as batcher:
+                results = await asyncio.gather(
+                    *(batcher.search(query) for query in queries)
+                )
+            return results, batcher.stats
+
+        results, stats = asyncio.run(serve())
+        for expected, served in zip(reference, results):
+            np.testing.assert_array_equal(expected.ids, served.ids)
+            np.testing.assert_array_equal(expected.divergences, served.divergences)
+        assert stats.n_requests == 32
+        assert stats.n_batches == 4
+        assert stats.n_cancelled == stats.n_failed == stats.n_rejected == 0
+        assert stats.mean_batch_size == 8.0
+
+    def test_per_batch_pages_read_matches_serialized_run(self):
+        # acceptance: per-batch pages_read under 4 overlapped batches is
+        # exactly what a serialized run of the same batches charges --
+        # the scoped-dedup guarantee the tentpole exists for
+        index, _ = self._index(page_size_bytes=PAGE_BYTES)
+        queries = points_for(SquaredEuclidean(), 32, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                index,
+                K,
+                max_batch_size=8,
+                max_wait_ms=200.0,
+                max_concurrent_batches=4,
+            ) as batcher:
+                await asyncio.gather(*(batcher.search(query) for query in queries))
+                return batcher.stats
+
+        stats = asyncio.run(serve())
+        # submission order fills batches in 8-request chunks; completion
+        # (hence batch_stats) order is scheduler-dependent, so compare
+        # the per-batch page bills as multisets
+        concurrent_pages = sorted(s.pages_read for s in stats.batch_stats)
+        serialized_pages = sorted(
+            index.search_batch(queries[lo : lo + 8], K).stats.pages_read
+            for lo in range(0, 32, 8)
+        )
+        assert concurrent_pages == serialized_pages
+        assert stats.total_pages_read == sum(serialized_pages)
+
+    def test_mixed_dimension_request_fails_alone_without_index_dim(self):
+        # satellite: with no index-declared dimensionality, the first
+        # pending request defines the batch's dimension and a mismatched
+        # query is rejected eagerly instead of poisoning the whole batch
+        index, _ = self._index()
+        headless = _HeadlessIndex(index)
+        good = points_for(SquaredEuclidean(), 4, DIM, seed=2)
+        short = good[0][: DIM - 3]
+
+        async def serve():
+            async with MicroBatcher(
+                headless, K, max_batch_size=8, max_wait_ms=20.0
+            ) as batcher:
+                return await asyncio.gather(
+                    *(batcher.search(query) for query in good),
+                    batcher.search(short),
+                    return_exceptions=True,
+                )
+
+        results = asyncio.run(serve())
+        assert isinstance(results[-1], InvalidParameterError)
+        for query, served in zip(good, results[:-1]):
+            expected = index.search(query, K)
+            np.testing.assert_array_equal(expected.ids, served.ids)
+            np.testing.assert_array_equal(expected.divergences, served.divergences)
+
+    def test_cancelled_client_still_counts_as_dispatched(self):
+        # satellite: n_requests counts dispatched requests, cancelled
+        # clients land in n_cancelled, and mean_batch_size keeps
+        # agreeing with the dispatched batch_sizes history
+        index, _ = self._index()
+        slow = _SlowIndex(index, delay_seconds=0.2)
+        queries = points_for(SquaredEuclidean(), 4, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                slow, K, max_batch_size=4, max_wait_ms=5.0
+            ) as batcher:
+                tasks = [
+                    asyncio.ensure_future(batcher.search(query))
+                    for query in queries
+                ]
+                # let all four requests enqueue; the 4th triggers the
+                # size-based flush, dispatching the batch to the worker
+                await asyncio.sleep(0.05)
+                assert batcher.stats.n_batches == 1
+                tasks[1].cancel()
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results, batcher.stats
+
+        results, stats = asyncio.run(serve())
+        assert isinstance(results[1], asyncio.CancelledError)
+        assert stats.n_requests == 4
+        assert stats.n_cancelled == 1
+        assert stats.n_failed == 0
+        assert stats.mean_batch_size == 4.0
+        assert list(stats.batch_sizes) == [4]
+        for slot in (0, 2, 3):
+            expected = index.search(queries[slot], K)
+            np.testing.assert_array_equal(expected.ids, results[slot].ids)
+
+    def test_queue_depth_reject_sheds_overload(self):
+        # a 10-request burst against depth 3 with the batch cap above it
+        # (the queue cannot drain mid-burst): 3 admitted, 7 shed
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), 10, DIM, seed=2)
+
+        async def serve():
+            async with MicroBatcher(
+                index,
+                K,
+                max_batch_size=64,
+                max_wait_ms=5.0,
+                max_queue_depth=3,
+                overflow="reject",
+            ) as batcher:
+                results = await asyncio.gather(
+                    *(batcher.search(query) for query in queries),
+                    return_exceptions=True,
+                )
+            return results, batcher.stats
+
+        results, stats = asyncio.run(serve())
+        shed = [r for r in results if isinstance(r, ServerOverloadedError)]
+        assert len(shed) == 7
+        assert stats.n_rejected == 7
+        assert stats.n_requests == 3  # only admitted requests dispatched
+        for slot in range(3):
+            expected = index.search(queries[slot], K)
+            np.testing.assert_array_equal(expected.ids, results[slot].ids)
+
+    def test_queue_depth_wait_backpressures_and_serves_all(self):
+        index, _ = self._index()
+        queries = points_for(SquaredEuclidean(), 10, DIM, seed=2)
+        reference = [index.search(query, K) for query in queries]
+
+        async def serve():
+            async with MicroBatcher(
+                index,
+                K,
+                max_batch_size=64,
+                max_wait_ms=2.0,
+                max_queue_depth=3,
+                overflow="wait",
+            ) as batcher:
+                results = await asyncio.gather(
+                    *(batcher.search(query) for query in queries)
+                )
+            return results, batcher.stats
+
+        results, stats = asyncio.run(serve())
+        assert stats.n_rejected == 0
+        assert stats.n_requests == 10
+        assert stats.n_batches >= 3  # depth 3 forces several waves
+        for expected, served in zip(reference, results):
+            np.testing.assert_array_equal(expected.ids, served.ids)
+
+    def test_concurrency_config_validation(self):
+        index, _ = self._index()
+        with pytest.raises(InvalidParameterError, match="max_concurrent_batches"):
+            MicroBatchConfig(max_concurrent_batches=0)
+        with pytest.raises(InvalidParameterError, match="max_queue_depth"):
+            MicroBatchConfig(max_queue_depth=0)
+        with pytest.raises(InvalidParameterError, match="overflow"):
+            MicroBatchConfig(overflow="drop")
+        with pytest.raises(InvalidParameterError, match="overflow"):
+            MicroBatcher(index, K, overflow="spill")

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -65,6 +68,127 @@ class TestDiskAccessTracker:
 
     def test_mean_before_any_query(self):
         assert DiskAccessTracker().mean_pages_per_query == 0.0
+
+
+class TestQueryScope:
+    """ISSUE 5 tentpole: explicit scopes replace tracker-global state."""
+
+    def test_interleaved_scopes_dedupe_independently(self):
+        tracker = DiskAccessTracker()
+        a = tracker.scope()
+        b = tracker.scope()
+        assert tracker.read_page(1, 0, scope=a)
+        assert tracker.read_page(1, 0, scope=b)  # b's first touch: charged
+        assert not tracker.read_page(1, 0, scope=a)  # a re-touch: free
+        assert tracker.read_page(1, 1, scope=b)
+        assert tracker.finish_scope(a).pages_read == 1
+        assert tracker.finish_scope(b).pages_read == 2
+        assert tracker.total_pages_read == 3
+        assert tracker.queries == 2
+
+    def test_finish_counts_one_query_idempotently(self):
+        tracker = DiskAccessTracker()
+        scope = tracker.scope()
+        tracker.read_page(1, 0, scope=scope)
+        first = scope.finish()
+        second = scope.finish()
+        assert first == second
+        assert tracker.queries == 1
+
+    def test_scope_as_context_manager(self):
+        tracker = DiskAccessTracker()
+        with tracker.scope() as scope:
+            tracker.read_page(1, 0, scope=scope)
+            tracker.write_page(1, 0, scope=scope)
+        assert tracker.queries == 1
+        assert scope.snapshot().pages_written == 1
+
+    def test_explicit_scope_ignores_ambient_one(self):
+        tracker = DiskAccessTracker()
+        tracker.start_query()
+        tracker.read_page(1, 0)
+        scope = tracker.scope()
+        # a fresh explicit scope has not seen the page: charged again
+        assert tracker.read_page(1, 0, scope=scope)
+        assert tracker.end_query().pages_read == 1
+        assert scope.snapshot().pages_read == 1
+
+    def test_concurrent_scopes_stay_exact(self):
+        # 8 threads, each its own scope over the same 50 pages: per-scope
+        # reads never leak across scopes and the lifetime total is exact
+        tracker = DiskAccessTracker()
+
+        def worker(fileno: int) -> int:
+            scope = tracker.scope()
+            for i in range(200):
+                tracker.read_page(fileno, i % 50, scope=scope)
+            return tracker.finish_scope(scope).pages_read
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            reads = list(pool.map(worker, range(8)))
+        assert reads == [50] * 8
+        assert tracker.total_pages_read == 8 * 50
+        assert tracker.queries == 8
+
+    def test_reset_zeroes_under_the_existing_lock(self):
+        tracker = DiskAccessTracker()
+        lock = tracker._lock
+        tracker.read_page(1, 0)
+        tracker.write_page(1, 0)
+        tracker.reset()
+        # the satellite fix: reset must never swap the lock out from
+        # under concurrent shard workers mid-charge
+        assert tracker._lock is lock
+        assert tracker.total_pages_read == 0
+        assert tracker.total_pages_written == 0
+        assert tracker.queries == 0
+
+    def test_concurrent_reset_stress(self):
+        # chargers on several threads race a resetting thread: no
+        # exceptions, and a final quiescent reset leaves exact zeros
+        tracker = DiskAccessTracker()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def charge(fileno: int) -> None:
+            try:
+                page = 0
+                while not stop.is_set():
+                    tracker.read_page(fileno, page % 17)
+                    tracker.write_page(fileno, page % 17)
+                    page += 1
+            except Exception as error:  # pragma: no cover - the failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=charge, args=(fileno,)) for fileno in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(300):
+            tracker.reset()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        tracker.reset()
+        assert tracker.total_pages_read == 0
+        assert tracker.total_pages_written == 0
+
+    def test_pool_counts_cross_batch_hits_onto_the_scope(self):
+        pool = BufferPool(capacity_pages=16)
+        tracker = DiskAccessTracker()
+        first = tracker.scope()
+        first.pool_epoch = pool.begin_batch()
+        assert pool.access(1, 7, scope=first) is False  # miss inserts
+        assert pool.access(1, 7, scope=first) is True  # intra-scope re-hit
+        assert first.cross_batch_hits == 0
+        second = tracker.scope()
+        second.pool_epoch = pool.begin_batch()
+        assert pool.access(1, 7, scope=second) is True
+        assert second.cross_batch_hits == 1
+        assert first.cross_batch_hits == 0
+        assert pool.cross_batch_hits == 1
 
 
 class TestBufferPool:
