@@ -140,6 +140,36 @@ def main() -> None:
 
     asyncio.run(concurrent_serve_demo())
 
+    # Serving while the index mutates: inserts/deletes land in an
+    # in-memory delta buffer (searched exactly alongside the frozen
+    # index), every search runs against the atomic (frozen base, delta)
+    # snapshot it captured, and merge_threshold folds the delta back
+    # into the frozen structures on a background worker -- all while
+    # requests keep flowing.
+    async def mutating_serve_demo() -> None:
+        serve_queries = np.exp(rng.normal(0.0, 0.6, size=(16, 64)))
+        fresh = np.exp(rng.normal(0.0, 0.6, size=(12, 64)))
+        async with MicroBatcher(index, k=10, max_batch_size=8,
+                                max_wait_ms=5.0, merge_threshold=8) as batcher:
+            first_pid = await batcher.insert(fresh[0])
+            for vec in fresh[1:]:
+                await batcher.insert(vec)
+            await batcher.delete(int(result.ids[0]))  # retire the old top-1
+            responses = await asyncio.gather(
+                *(batcher.search(query) for query in serve_queries)
+            )
+        stats = batcher.stats
+        print(f"\nserving under mutation: {stats.n_inserts} inserts + "
+              f"{stats.n_deletes} delete served alongside "
+              f"{len(responses)} searches ({stats.n_merges} background "
+              f"merge(s); index now at epoch {index.epoch})")
+        hit = index.search(fresh[0], k=1)
+        assert hit.ids[0] == first_pid and hit.divergences[0] == 0.0
+        assert int(result.ids[0]) not in index.search(query, k=10).ids
+        print("verified: inserts are searchable, the deleted point is gone")
+
+    asyncio.run(mutating_serve_demo())
+
 
 if __name__ == "__main__":
     main()

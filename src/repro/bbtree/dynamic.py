@@ -2,23 +2,43 @@
 
 The paper closes by noting BB-forest "support[ing] inserting or deleting
 large-scale data more efficiently" as future work.  This module provides
-that capability at the tree level:
+the tree-level building blocks:
 
 * :func:`insert_point` -- descend to the child whose center is nearest
   (by the tree's divergence), inflating every ball on the path so the
   covering invariant holds, append to the reached leaf, and re-split the
   leaf by two-means when it exceeds capacity.
-* :func:`delete_point` -- remove a point id from its leaf.  Ball radii
-  are left untouched (they remain valid covers, merely conservative), so
-  deletion never breaks search correctness; a periodic rebuild restores
-  tightness.
+* :func:`delete_point` -- remove a point id from its leaf and tombstone
+  its storage row (``_ids[row]`` becomes ``-1`` and the row joins the
+  free list for reuse by a later insert).  Ball radii are left untouched
+  (they remain valid covers, merely conservative); a periodic rebuild
+  restores tightness.
+* :func:`extend_tree` -- a *new* tree equal to the receiver plus extra
+  points, sharing the immutable per-node balls and id arrays of the
+  original on the unchanged subtrees.  This is the extend-merge path of
+  the index-level update subsystem.
 
-Both operations preserve the invariants the searches rely on: every
-node's ball covers all points in its subtree, and every point id appears
-in exactly one leaf.
+Concurrency contract (snapshot semantics): a built tree mutated through
+:func:`insert_point` / :func:`delete_point` is **not** safe to search
+concurrently -- these calls reallocate ``_points`` / ``_ids`` and edit
+leaves in place.  The index level therefore never mutates a published
+tree: :class:`~repro.core.index.BrePartitionIndex` routes updates
+through its delta buffer, searches run against the immutable
+``(frozen base, delta version)`` pair captured by
+:meth:`~repro.core.index.BrePartitionIndex.snapshot`, and merges build
+*new* trees (via :func:`extend_tree` or a rebuild) before atomically
+swapping the published base.  Direct mutation stays available for
+single-threaded tree-level use and for the merge machinery itself.
+
+Invariants preserved by every operation here: each node's ball covers
+all points in its subtree, each live point id appears in exactly one
+leaf, and ``_ids`` / ``_row_of`` / the leaves agree on exactly which
+ids are live.
 """
 
 from __future__ import annotations
+
+from typing import List
 
 import numpy as np
 
@@ -28,33 +48,133 @@ from ..geometry.ball import BregmanBall
 from .node import BBTreeNode
 from .tree import BBTree
 
-__all__ = ["insert_point", "delete_point"]
+__all__ = ["insert_point", "delete_point", "extend_tree"]
 
 
 def insert_point(tree: BBTree, point: np.ndarray, point_id: int) -> None:
     """Insert ``point`` with id ``point_id`` into a built tree.
 
-    The point is also appended to the tree's in-memory point storage so
-    subsequent leaf-level evaluations and rebuild-splits see it.
+    The point is registered in the tree's in-memory storage (reusing a
+    tombstoned row when one is free) so subsequent leaf-level
+    evaluations and rebuild-splits see it.
     """
     root = tree._require_built()
     point = np.asarray(point, dtype=float)
     if point.shape[0] != tree._points.shape[1]:
         raise InvalidParameterError("point dimensionality mismatch")
-    if int(point_id) in tree._row_of:
+    pid = int(point_id)
+    if pid < 0:
+        raise InvalidParameterError("point ids must be non-negative")
+    if pid in tree._row_of:
         raise InvalidParameterError(f"point id {point_id} already present")
 
-    # Register the new point in the tree's storage.
-    row = tree._points.shape[0]
-    tree._points = np.vstack([tree._points, point[None, :]])
-    tree._ids = np.concatenate([tree._ids, [int(point_id)]])
-    tree._row_of[int(point_id)] = row
+    # Register the new point in the tree's storage, reusing a row freed
+    # by an earlier delete when available.
+    free = _free_rows(tree)
+    if free:
+        row = free.pop()
+        tree._points[row] = point
+        tree._ids[row] = pid
+    else:
+        row = tree._points.shape[0]
+        tree._points = np.vstack([tree._points, point[None, :]])
+        tree._ids = np.concatenate([tree._ids, [pid]])
+    tree._row_of[pid] = row
 
+    _descend_insert(tree, root, point, pid)
+
+
+def delete_point(tree: BBTree, point_id: int) -> None:
+    """Remove ``point_id`` from the tree.
+
+    The storage row is tombstoned (``_ids[row] = -1``) and queued for
+    reuse, so leaf enumeration and ``_ids`` always agree on the live id
+    set; balls keep their radii, staying valid covers.
+    """
+    root = tree._require_built()
+    pid = int(point_id)
+    if pid not in tree._row_of:
+        raise StorageError(f"point id {point_id} not in tree")
+
+    target_row = tree._row_of[pid]
+    point = tree._points[target_row]
+    # Walk down guided by ball membership; fall back to exhaustive leaf
+    # scan if the geometric walk misses (possible after many updates).
+    leaf = _find_leaf(tree, root, point, pid)
+    if leaf is None:
+        leaf = _scan_for_leaf(root, pid)
+    if leaf is None:  # pragma: no cover - defended by _row_of check
+        raise StorageError(f"point id {point_id} not found in any leaf")
+    leaf.point_ids = leaf.point_ids[leaf.point_ids != pid]
+    del tree._row_of[pid]
+    tree._ids[target_row] = -1
+    _free_rows(tree).append(target_row)
+
+
+def extend_tree(tree: BBTree, points: np.ndarray, new_ids: np.ndarray) -> BBTree:
+    """A new tree equal to ``tree`` plus ``points`` (ids ``new_ids``).
+
+    The receiver is never mutated -- searches pinned to it keep reading
+    a consistent structure.  The clone shares the original's per-node
+    :class:`~repro.geometry.ball.BregmanBall` and ``point_ids`` objects
+    on untouched subtrees (both are *replaced*, never edited, by the
+    insert path), so cloning is O(nodes), not O(points).
+    """
+    tree._require_built()
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    new_ids = np.asarray(new_ids, dtype=int)
+    if points.shape[0] != new_ids.shape[0]:
+        raise InvalidParameterError("points and new_ids must align")
+    if points.shape[0] and points.shape[1] != tree._points.shape[1]:
+        raise InvalidParameterError("point dimensionality mismatch")
+
+    clone = BBTree(
+        tree.divergence,
+        leaf_capacity=tree.leaf_capacity,
+        # independent stream: the original's rng state must not advance
+        rng=np.random.default_rng(int(tree.rng.integers(2**63))),
+        lb_max_iter=tree.lb_max_iter,
+        lb_tol=tree.lb_tol,
+    )
+    clone.root = _copy_node(tree.root)
+    clone._points = tree._points.copy()
+    clone._ids = tree._ids.copy()
+    clone._row_of = dict(tree._row_of)
+    clone._free_rows = list(_free_rows(tree))
+    for point, pid in zip(points, new_ids):
+        insert_point(clone, point, int(pid))
+    return clone
+
+
+def _copy_node(node: BBTreeNode) -> BBTreeNode:
+    """Structural copy sharing the (immutable-by-convention) ball and
+    point_ids objects; inserts into the copy replace them, never edit."""
+    return BBTreeNode(
+        ball=node.ball,
+        point_ids=node.point_ids,
+        left=_copy_node(node.left) if node.left is not None else None,
+        right=_copy_node(node.right) if node.right is not None else None,
+        depth=node.depth,
+    )
+
+
+def _free_rows(tree: BBTree) -> List[int]:
+    """The tree's free-row list (created lazily for pre-existing trees)."""
+    free = getattr(tree, "_free_rows", None)
+    if free is None:
+        free = tree._free_rows = []
+    return free
+
+
+def _descend_insert(
+    tree: BBTree, root: BBTreeNode, point: np.ndarray, point_id: int
+) -> None:
+    """Walk a registered point down to a leaf, inflating balls en route."""
     node = root
     while True:
         _inflate(tree, node, point)
         if node.is_leaf:
-            node.point_ids = np.concatenate([node.point_ids, [int(point_id)]])
+            node.point_ids = np.concatenate([node.point_ids, [point_id]])
             if node.point_ids.shape[0] > tree.leaf_capacity:
                 _split_leaf(tree, node)
             return
@@ -64,29 +184,6 @@ def insert_point(tree: BBTree, point: np.ndarray, point_id: int) -> None:
         d_left = tree.divergence.divergence(point, left.ball.center)
         d_right = tree.divergence.divergence(point, right.ball.center)
         node = left if d_left <= d_right else right
-
-
-def delete_point(tree: BBTree, point_id: int) -> None:
-    """Remove ``point_id`` from the tree.
-
-    The point remains in the in-memory storage array (ids are the source
-    of truth); balls keep their radii, staying valid covers.
-    """
-    root = tree._require_built()
-    if int(point_id) not in tree._row_of:
-        raise StorageError(f"point id {point_id} not in tree")
-
-    target_row = tree._row_of[int(point_id)]
-    point = tree._points[target_row]
-    # Walk down guided by ball membership; fall back to exhaustive leaf
-    # scan if the geometric walk misses (possible after many updates).
-    leaf = _find_leaf(tree, root, point, int(point_id))
-    if leaf is None:
-        leaf = _scan_for_leaf(root, int(point_id))
-    if leaf is None:  # pragma: no cover - defended by _row_of check
-        raise StorageError(f"point id {point_id} not found in any leaf")
-    leaf.point_ids = leaf.point_ids[leaf.point_ids != int(point_id)]
-    del tree._row_of[int(point_id)]
 
 
 def _inflate(tree: BBTree, node: BBTreeNode, point: np.ndarray) -> None:

@@ -182,6 +182,40 @@ class BBForest:
         ]
         return unions, stats
 
+    def extended(self, points: np.ndarray) -> "BBForest":
+        """A new forest over ``points`` (the old points plus appended rows).
+
+        Extend-merge path: every tree is cloned via
+        :meth:`~repro.bbtree.tree.BBTree.extended` with the appended rows
+        inserted, the seed-subspace choice is preserved, and the shared
+        disk layout keeps the old order with the new logical ids appended
+        (matching :meth:`~repro.storage.datastore.DataStore.extended`).
+        The receiver is never mutated -- pinned snapshots keep searching
+        it -- and its rng state does not advance (clones draw from child
+        streams).
+        """
+        self._require_built()
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        n_old = self.layout_order.size
+        if points.shape[0] < n_old:
+            raise InvalidParameterError(
+                "extended() expects the old points plus appended rows"
+            )
+        new_ids = np.arange(n_old, points.shape[0])
+        forest = BBForest(
+            self.divergence,
+            self.partitioning,
+            leaf_capacity=self.leaf_capacity,
+            rng=self.rng,
+        )
+        forest.seed_subspace = self.seed_subspace
+        forest.trees = [
+            tree.extended(points[np.ix_(new_ids, dims)], new_ids)
+            for tree, dims in zip(self.trees, self.partitioning.subspaces)
+        ]
+        forest.layout_order = np.concatenate([self.layout_order, new_ids])
+        return forest
+
     def shard_assignment(self, n_shards: int) -> np.ndarray:
         """Per-point shard ids: seed-tree leaves striped round-robin.
 

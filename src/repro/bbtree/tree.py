@@ -128,6 +128,9 @@ class BBTree:
         self._ids = point_ids
         # Index points by storage row for leaf-level evaluation.
         self._row_of = {int(pid): row for row, pid in enumerate(point_ids)}
+        # Storage rows freed by deletes, reusable by later inserts (see
+        # repro.bbtree.dynamic).
+        self._free_rows: List[int] = []
         self.root = self._build_node(np.arange(n), depth=0)
         return self
 
@@ -179,6 +182,17 @@ class BBTree:
     def leaf_order(self) -> np.ndarray:
         """Point ids concatenated in leaf DFS order (clustered layout)."""
         return np.concatenate([leaf.point_ids for leaf in self.leaves()])
+
+    def collect_ids(self) -> np.ndarray:
+        """Every live point id, ascending (enumerated from the leaves).
+
+        After dynamic updates this must agree with ``_row_of`` -- each
+        live id in exactly one leaf, deleted ids in none.
+        """
+        parts = [leaf.point_ids for leaf in self.leaves() if leaf.point_ids.size]
+        if not parts:
+            return np.empty(0, dtype=int)
+        return np.sort(np.concatenate(parts))
 
     def count_nodes(self) -> int:
         """Total number of nodes."""
@@ -426,6 +440,16 @@ class BBTree:
         from .dynamic import delete_point
 
         delete_point(self, point_id)
+
+    def extended(self, points: np.ndarray, new_ids: np.ndarray) -> "BBTree":
+        """A new tree with extra points inserted; the receiver is untouched.
+
+        The extend-merge building block: see
+        :func:`repro.bbtree.dynamic.extend_tree`.
+        """
+        from .dynamic import extend_tree
+
+        return extend_tree(self, points, new_ids)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "built" if self.root is not None else "empty"

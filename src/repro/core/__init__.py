@@ -4,6 +4,7 @@ from .approximate import ApproximateBrePartitionIndex, BetaXYModel
 from .config import BrePartitionConfig
 from .index import BrePartitionIndex
 from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
+from .snapshot import BaseState, DeltaBuffer, DeltaView, IndexSnapshot, MergeStats
 from .transforms import (
     SearchBounds,
     SearchBoundsBatch,
@@ -21,6 +22,11 @@ __all__ = [
     "SearchResult",
     "BatchQueryStats",
     "BatchSearchResult",
+    "BaseState",
+    "DeltaBuffer",
+    "DeltaView",
+    "IndexSnapshot",
+    "MergeStats",
     "SubspaceTransforms",
     "SearchBounds",
     "SearchBoundsBatch",

@@ -21,6 +21,7 @@ time lands in ``stats.stage_seconds``).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -47,6 +48,7 @@ from ..storage.io_stats import DiskAccessTracker, IOCostModel
 from ..storage.sharded import ShardedDataStore
 from .config import BrePartitionConfig
 from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
+from .snapshot import BaseState, DeltaBuffer, IndexSnapshot, MergeStats
 from .transforms import SubspaceTransforms
 
 __all__ = ["BrePartitionIndex"]
@@ -96,6 +98,20 @@ class BrePartitionIndex:
         self.construction_seconds: float = 0.0
         self._points: Optional[np.ndarray] = None
         self._refine_conditioner = None
+        #: the published frozen base (epoch'd, immutable) and the delta
+        #: buffer of unmerged updates; together they are the index state
+        #: a search snapshots.  Guarded by ``_mutate_lock``.
+        self._base: Optional[BaseState] = None
+        self._delta: Optional[DeltaBuffer] = None
+        self._next_id = 0
+        #: total mutations (inserts + deletes) successfully applied --
+        #: the monotone version linearizability tests bracket against.
+        self.updates_applied = 0
+        #: serialises mutations and the publish step of merges/reshards
+        #: against snapshot capture (searches hold it only momentarily).
+        self._mutate_lock = threading.Lock()
+        #: serialises whole merges/reshards against each other.
+        self._merge_lock = threading.Lock()
         #: the staged Plan -> Fetch -> Refine -> Rerank engine both
         #: search drivers (and the serving layer) run.
         self.pipeline = SearchPipeline(self)
@@ -127,41 +143,72 @@ class BrePartitionIndex:
             m = optimal_partitions(n, d, self.cost_params)
         self.n_partitions = int(m)
 
-        self.partitioning = strategy.partition(points, self.n_partitions)
+        partitioning = strategy.partition(points, self.n_partitions)
         leaf_capacity = self.config.leaf_capacity_for(d)
-        self.forest = BBForest(
+        forest = BBForest(
             self.divergence,
-            self.partitioning,
+            partitioning,
             leaf_capacity=leaf_capacity,
             rng=self.rng,
         ).build(points)
-        self.datastore = self._make_datastore(points)
-        self.transforms = SubspaceTransforms(self.divergence, self.partitioning, points)
-        self._points = points
+        datastore = self._make_datastore(points, forest)
+        transforms = SubspaceTransforms(self.divergence, partitioning, points)
         # Conditioner for the expansion-form refinement kernels: maps
         # candidates and queries into the kernels' well-conditioned
         # regime via the divergence's exact invariance (centring for
         # SED/Mahalanobis, scaling for ISD/KL).  Both the single and the
         # blocked path condition identically, preserving bitwise parity.
-        self._refine_conditioner = self.divergence.refinement_conditioner(points)
+        conditioner = self.divergence.refinement_conditioner(points)
+        with self._mutate_lock:
+            self._publish(
+                BaseState(
+                    epoch=0,
+                    partitioning=partitioning,
+                    n_partitions=self.n_partitions,
+                    forest=forest,
+                    datastore=datastore,
+                    transforms=transforms,
+                    points=points,
+                    refine_conditioner=conditioner,
+                )
+            )
+            self._delta = DeltaBuffer(d)
+            self._next_id = n
+            self.updates_applied = 0
         self.construction_seconds = time.perf_counter() - start
         return self
 
-    def _make_datastore(self, points: np.ndarray):
+    def _publish(self, base: BaseState) -> None:
+        """Install ``base`` as the published frozen state (callers hold
+        ``_mutate_lock``) and refresh the legacy component mirrors.
+
+        The mirrors (``self.forest`` etc.) exist for introspection and
+        single-threaded callers; the search path reads components only
+        through the snapshot it captured.
+        """
+        self._base = base
+        self.partitioning = base.partitioning
+        self.forest = base.forest
+        self.datastore = base.datastore
+        self.transforms = base.transforms
+        self._points = base.points
+        self._refine_conditioner = base.refine_conditioner
+
+    def _make_datastore(self, points: np.ndarray, forest: BBForest):
         """Lay the point file out on one disk or across config.n_shards."""
         if self.config.n_shards > 1:
             return ShardedDataStore(
                 points,
                 self.config.n_shards,
-                layout_order=self.forest.layout_order,
-                shard_of=self.forest.shard_assignment(self.config.n_shards),
+                layout_order=forest.layout_order,
+                shard_of=forest.shard_assignment(self.config.n_shards),
                 page_size_bytes=self.config.page_size_bytes,
                 tracker=self.tracker,
                 buffer_pool=self.buffer_pool,
             )
         return DataStore(
             points,
-            layout_order=self.forest.layout_order,
+            layout_order=forest.layout_order,
             page_size_bytes=self.config.page_size_bytes,
             tracker=self.tracker,
             buffer_pool=self.buffer_pool,
@@ -174,13 +221,32 @@ class BrePartitionIndex:
         layout are reused -- so this is cheap relative to :meth:`build`.
         Search results are unaffected (sharding changes where pages
         live, not what the index returns); ``config.n_shards`` is
-        updated so later rebuilds keep the setting.
+        updated so later rebuilds keep the setting.  Publishes a new
+        epoch: searches in flight keep reading the datastore they
+        pinned, new searches see the new layout.
         """
         self._require_built()
         if n_shards < 1:
             raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
-        self.config.n_shards = int(n_shards)
-        self.datastore = self._make_datastore(self._points)
+        with self._merge_lock:
+            self.config.n_shards = int(n_shards)
+            base = self._base
+            datastore = self._make_datastore(base.points, base.forest)
+            with self._mutate_lock:
+                self._publish(
+                    BaseState(
+                        epoch=base.epoch + 1,
+                        partitioning=base.partitioning,
+                        n_partitions=base.n_partitions,
+                        forest=base.forest,
+                        datastore=datastore,
+                        transforms=base.transforms,
+                        points=base.points,
+                        refine_conditioner=base.refine_conditioner,
+                        global_ids=base.global_ids,
+                        dead_rows=base.dead_rows,
+                    )
+                )
         return self
 
     def _require_built(self) -> None:
@@ -188,30 +254,259 @@ class BrePartitionIndex:
             raise NotFittedError("BrePartitionIndex.build() must be called first")
 
     # ------------------------------------------------------------------
+    # mutations (delta buffer + epoch/snapshot publication)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> IndexSnapshot:
+        """Atomically capture the ``(frozen base, delta version)`` pair.
+
+        The snapshot is immutable: concurrent inserts/deletes/merges
+        publish new state instead of editing what a snapshot references,
+        so a search that runs entirely against one snapshot can never
+        observe a torn array.  Pin it (via
+        :meth:`QueryScope.pin <repro.storage.io_stats.QueryScope.pin>`)
+        to let background merges wait for its readers to drain.
+        """
+        self._require_built()
+        with self._mutate_lock:
+            return IndexSnapshot(self._base, self._delta.view())
+
+    def insert(self, point: np.ndarray, point_id: Optional[int] = None) -> int:
+        """Insert one point; visible to every search opened afterwards.
+
+        The point lands in the in-memory delta buffer (searched
+        brute-force alongside the frozen index and merged during
+        Rerank); the frozen structures are untouched until
+        :meth:`merge`.  Returns the point's id (auto-assigned when
+        ``point_id`` is ``None``).
+        """
+        self._require_built()
+        point = np.asarray(point, dtype=float)
+        if point.ndim != 1 or point.shape[0] != self.partitioning.dimensionality:
+            raise InvalidParameterError(
+                f"point must have shape ({self.partitioning.dimensionality},), "
+                f"got {point.shape}"
+            )
+        self.divergence.validate_domain(point, "inserted point")
+        with self._mutate_lock:
+            if point_id is None:
+                pid = self._next_id
+            else:
+                pid = int(point_id)
+                if pid < 0:
+                    raise InvalidParameterError("point ids must be non-negative")
+            if self._is_live_locked(pid):
+                raise InvalidParameterError(f"point id {pid} already present")
+            self._delta.insert(point, pid)
+            self._next_id = max(self._next_id, pid + 1)
+            self.updates_applied += 1
+        return pid
+
+    def delete(self, point_id: int) -> None:
+        """Delete a live point; absent from every search opened afterwards.
+
+        Frozen points are tombstoned (filtered before top-k; physically
+        removed by the next :meth:`merge`), unmerged delta inserts are
+        dropped outright.
+        """
+        self._require_built()
+        pid = int(point_id)
+        with self._mutate_lock:
+            if not self._is_live_locked(pid):
+                raise InvalidParameterError(f"point id {pid} is not a live point")
+            self._delta.delete(pid)
+            self.updates_applied += 1
+
+    def _is_live_locked(self, pid: int) -> bool:
+        """Liveness of an id under ``_mutate_lock``: delta state first
+        (newest op wins), then the frozen base."""
+        if self._delta.is_alive(pid):
+            return True
+        if self._delta.is_tombstoned(pid):
+            return False
+        return self._base.row_of_id(pid) is not None
+
+    @property
+    def delta_ops(self) -> int:
+        """Unmerged delta ops (what serving layers threshold merges on)."""
+        return self._delta.version if self._delta is not None else 0
+
+    def merge(
+        self, mode: str = "rebuild", drain_timeout: Optional[float] = 30.0
+    ) -> MergeStats:
+        """Fold the delta buffer into a new frozen base and publish it.
+
+        ``mode="rebuild"`` re-partitions from scratch over the live
+        points (compacting tombstones away -- the quality-restoring
+        path); ``mode="extend"`` appends the delta inserts to the
+        existing forest/datastore/transforms without touching old rows
+        (cheap, keeps old pages and pool entries valid, carries
+        tombstones forward as permanently dead rows).
+
+        The swap is atomic: a cut of the delta is taken under the
+        mutation lock, the new base is built off-line, then published
+        (with the delta rebased past the cut) under the lock again.
+        In-flight searches keep their pinned snapshot throughout;
+        ``drain_timeout`` only bounds how long this call waits for them
+        to finish before returning (``MergeStats.drained``).
+        """
+        self._require_built()
+        if mode not in ("rebuild", "extend"):
+            raise InvalidParameterError(
+                f"merge mode must be 'rebuild' or 'extend', got {mode!r}"
+            )
+        with self._merge_lock:
+            start = time.perf_counter()
+            with self._mutate_lock:
+                old_base = self._base
+                cut = self._delta.view()
+            if cut.version == 0:
+                return MergeStats(
+                    epoch=old_base.epoch,
+                    mode=mode,
+                    merged_inserts=0,
+                    resolved_tombstones=0,
+                    n_frozen=old_base.n_frozen,
+                    drained=True,
+                    seconds=0.0,
+                )
+            # Resolve the cut's tombstones against the old base exactly
+            # like a search snapshot would.
+            dead_mask = IndexSnapshot(old_base, cut).dead_mask
+            if mode == "rebuild":
+                new_base = self._merge_rebuild(old_base, cut, dead_mask)
+            else:
+                new_base = self._merge_extend(old_base, cut, dead_mask)
+            with self._mutate_lock:
+                self._delta = self._delta.rebase(cut.version)
+                self._publish(new_base)
+            seconds = time.perf_counter() - start
+            drained = old_base.wait_drained(drain_timeout)
+            return MergeStats(
+                epoch=new_base.epoch,
+                mode=mode,
+                merged_inserts=cut.n_inserts,
+                resolved_tombstones=len(cut.tombstones),
+                n_frozen=new_base.n_frozen,
+                drained=drained,
+                seconds=seconds,
+            )
+
+    def _merge_rebuild(self, base: BaseState, cut, dead_mask) -> BaseState:
+        """Re-partition from scratch over the live points (compaction)."""
+        live = np.ones(base.n_frozen, dtype=bool)
+        if dead_mask is not None:
+            live &= ~dead_mask
+        gids = np.concatenate([base.global_ids[live], cut.ids])
+        points = np.vstack([base.points[live], cut.points])
+        if gids.size < 2:
+            raise InvalidParameterError(
+                "merge would leave fewer than two live points; "
+                "insert more points before merging"
+            )
+        # Keep the rebuilt file sorted by external id so row order (and
+        # therefore tie-breaking by row) matches ascending external id.
+        order = np.argsort(gids, kind="stable")
+        gids = gids[order]
+        points = np.ascontiguousarray(points[order])
+        strategy = self.config.make_strategy(self.rng)
+        partitioning = strategy.partition(points, base.n_partitions)
+        forest = BBForest(
+            self.divergence,
+            partitioning,
+            leaf_capacity=self.config.leaf_capacity_for(points.shape[1]),
+            rng=self.rng,
+        ).build(points)
+        return BaseState(
+            epoch=base.epoch + 1,
+            partitioning=partitioning,
+            n_partitions=base.n_partitions,
+            forest=forest,
+            datastore=self._make_datastore(points, forest),
+            transforms=SubspaceTransforms(self.divergence, partitioning, points),
+            points=points,
+            refine_conditioner=self.divergence.refinement_conditioner(points),
+            global_ids=gids,
+        )
+
+    def _merge_extend(self, base: BaseState, cut, dead_mask) -> BaseState:
+        """Append the delta inserts to the existing frozen structures.
+
+        Old rows keep their positions, pages and bounds bitwise; the
+        cut's tombstones become permanently dead rows whose global id is
+        retired to the ``-1`` sentinel (so the same external id may
+        reappear as an appended row).
+        """
+        if cut.n_inserts:
+            points = np.vstack([base.points, cut.points])
+            forest = base.forest.extended(points)
+            datastore = base.datastore.extended(cut.points)
+            transforms = base.transforms.extended(cut.points)
+        else:
+            points = base.points
+            forest = base.forest
+            datastore = base.datastore
+            transforms = base.transforms
+        gids = np.concatenate([base.global_ids, cut.ids])
+        dead = None
+        if dead_mask is not None and dead_mask.any():
+            dead = np.zeros(gids.size, dtype=bool)
+            dead[: base.n_frozen] = dead_mask
+            gids = gids.copy()
+            gids[np.flatnonzero(dead)] = -1
+        return BaseState(
+            epoch=base.epoch + 1,
+            partitioning=base.partitioning,
+            n_partitions=base.n_partitions,
+            forest=forest,
+            datastore=datastore,
+            transforms=transforms,
+            points=points,
+            # exact invariance: the conditioner only shifts/scales both
+            # sides of the expansion identically, so reusing the old one
+            # keeps old *and* new rows exact
+            refine_conditioner=base.refine_conditioner,
+            global_ids=gids,
+            dead_rows=dead,
+        )
+
+    # ------------------------------------------------------------------
     # search drivers (Algorithm 6 over the staged pipeline)
     # ------------------------------------------------------------------
 
     def search(self, query: np.ndarray, k: int) -> SearchResult:
-        """Exact kNN of ``query`` (ids and divergences, ascending)."""
+        """Exact kNN of ``query`` (ids and divergences, ascending).
+
+        Runs against one atomic :meth:`snapshot`, pinned to the query's
+        I/O scope: concurrent inserts/deletes/merges never tear the
+        arrays this search reads, and the result equals a search against
+        the exact update prefix the snapshot captured.
+        """
         self._require_built()
         query = np.asarray(query, dtype=float)
         self.divergence.validate_domain(query, "query")
-        if not 1 <= k <= self.transforms.n_points:
+        snap = self.snapshot()
+        if not 1 <= k <= snap.n_live:
             raise InvalidParameterError(
-                f"k must be in [1, {self.transforms.n_points}], got {k}"
+                f"k must be in [1, {snap.n_live}], got {k}"
             )
 
         scope = self.tracker.scope()
+        scope.pin(snap)
         start = time.perf_counter()
-        ctx = QueryBatchContext(queries=query[None, :], k=k, single=True, scope=scope)
-        self.pipeline.run(ctx)
-        elapsed = time.perf_counter() - start
-        snapshot = self.tracker.finish_scope(scope)
+        try:
+            ctx = QueryBatchContext(
+                queries=query[None, :], k=k, single=True, scope=scope, snapshot=snap
+            )
+            self.pipeline.run(ctx)
+        finally:
+            elapsed = time.perf_counter() - start
+            io = self.tracker.finish_scope(scope)
 
         candidates = ctx.candidates[0]
         top_ids, exact = ctx.refined[0]
         stats = QueryStats(
-            pages_read=snapshot.pages_read,
+            pages_read=io.pages_read,
             cpu_seconds=elapsed,
             n_candidates=int(candidates.size),
             search_bound=float(ctx.bound_totals[0]),
@@ -219,6 +514,8 @@ class BrePartitionIndex:
             leaves_visited=ctx.forest_stats[0].leaves_visited,
             points_evaluated=int(candidates.size),
             stage_seconds=dict(ctx.stage_seconds),
+            delta_candidates=ctx.delta_candidates[0] if ctx.delta_candidates else 0,
+            epoch=snap.epoch,
         )
         return SearchResult(ids=top_ids, divergences=exact, stats=stats)
 
@@ -250,15 +547,16 @@ class BrePartitionIndex:
         """
         self._require_built()
         queries = np.atleast_2d(np.asarray(queries, dtype=float))
-        if queries.ndim != 2 or queries.shape[1] != self.partitioning.dimensionality:
+        snap = self.snapshot()
+        if queries.ndim != 2 or queries.shape[1] != snap.partitioning.dimensionality:
             raise InvalidParameterError(
-                f"queries must have shape (B, {self.partitioning.dimensionality}), "
+                f"queries must have shape (B, {snap.partitioning.dimensionality}), "
                 f"got {queries.shape}"
             )
         self.divergence.validate_domain(queries, "query batch")
-        if not 1 <= k <= self.transforms.n_points:
+        if not 1 <= k <= snap.n_live:
             raise InvalidParameterError(
-                f"k must be in [1, {self.transforms.n_points}], got {k}"
+                f"k must be in [1, {snap.n_live}], got {k}"
             )
         n_queries = queries.shape[0]
 
@@ -266,22 +564,28 @@ class BrePartitionIndex:
         # re-entrant: concurrent in-flight batches each dedup and count
         # against their own scope, so per-batch pages_read stays exact
         scope = self.tracker.scope()
+        scope.pin(snap)
         start = time.perf_counter()
-        ctx = QueryBatchContext(queries=queries, k=k, scope=scope)
-        self.pipeline.run(ctx)
-        elapsed = time.perf_counter() - start
-        snapshot = self.tracker.finish_scope(scope)
+        try:
+            ctx = QueryBatchContext(queries=queries, k=k, scope=scope, snapshot=snap)
+            self.pipeline.run(ctx)
+        finally:
+            elapsed = time.perf_counter() - start
+            io = self.tracker.finish_scope(scope)
 
         results: list[SearchResult] = []
         unshared_pages = 0
         total_candidates = 0
+        total_delta = 0
         per_query_seconds = elapsed / n_queries if n_queries else 0.0
         for q in range(n_queries):
             ids = ctx.candidates[q]
             top_ids, top_divergences = ctx.refined[q]
-            solo_pages = self.datastore.count_pages_of(ids)
+            solo_pages = snap.datastore.count_pages_of(ids)
             unshared_pages += solo_pages
             total_candidates += int(ids.size)
+            delta_candidates = ctx.delta_candidates[q] if ctx.delta_candidates else 0
+            total_delta += delta_candidates
             stats = QueryStats(
                 pages_read=solo_pages,
                 cpu_seconds=per_query_seconds,
@@ -290,14 +594,16 @@ class BrePartitionIndex:
                 per_subspace_candidates=ctx.forest_stats[q].per_subspace_candidates,
                 leaves_visited=ctx.forest_stats[q].leaves_visited,
                 points_evaluated=int(ids.size),
+                delta_candidates=delta_candidates,
+                epoch=snap.epoch,
             )
             results.append(
                 SearchResult(ids=top_ids, divergences=top_divergences, stats=stats)
             )
 
-        sharded = isinstance(self.datastore, ShardedDataStore)
+        sharded = isinstance(snap.datastore, ShardedDataStore)
         batch_stats = BatchQueryStats(
-            pages_read=snapshot.pages_read,
+            pages_read=io.pages_read,
             pages_read_unshared=unshared_pages,
             pages_coalesced=ctx.pages_coalesced,
             pages_read_per_shard=ctx.pages_per_shard,
@@ -309,6 +615,7 @@ class BrePartitionIndex:
             shard_seconds=ctx.shard_seconds,
             stage_seconds=dict(ctx.stage_seconds),
             cross_batch_hits=ctx.cross_batch_hits,
+            delta_candidates=total_delta,
         )
         return BatchSearchResult(results=results, stats=batch_stats)
 
@@ -414,9 +721,15 @@ class BrePartitionIndex:
 
     @property
     def n_points(self) -> int:
-        """Number of indexed points."""
+        """Number of live points (frozen survivors plus unmerged inserts)."""
         self._require_built()
-        return self.transforms.n_points
+        return self.snapshot().n_live
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the currently published frozen base."""
+        self._require_built()
+        return self._base.epoch
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = (

@@ -31,6 +31,11 @@ class QueryStats:
     #: wall-clock seconds per pipeline stage (plan/fetch/refine/rerank);
     #: ``None`` for indexes that do not run the staged pipeline.
     stage_seconds: Optional[Dict[str, float]] = None
+    #: unmerged delta-buffer points scored (in memory, never charged
+    #: I/O) and merged into this query's top-k; 0 without mutations.
+    delta_candidates: int = 0
+    #: epoch of the frozen base this query's snapshot pinned.
+    epoch: int = 0
 
 
 @dataclass
@@ -108,6 +113,9 @@ class BatchQueryStats:
     stage_seconds: Optional[Dict[str, float]] = None
     #: buffer-pool hits on pages an earlier batch paid for (None: no pool).
     cross_batch_hits: Optional[int] = None
+    #: total delta-buffer points scored across the batch (in memory,
+    #: never charged I/O); 0 without mutations.
+    delta_candidates: int = 0
 
     @property
     def pages_saved(self) -> int:

@@ -95,6 +95,31 @@ class SubspaceTransforms:
         self.alpha = np.stack(alphas, axis=1)
         self.gamma = np.stack(gammas, axis=1)
 
+    def extended(self, new_points: np.ndarray) -> "SubspaceTransforms":
+        """A new transforms object with ``new_points`` appended.
+
+        Extend-merge path: only the appended rows' ``(alpha, gamma)``
+        summaries are computed; the existing rows (and the per-subspace
+        restricted divergences) are shared with the receiver, which is
+        never mutated.  Bounds are per-point (Theorem 1 is elementwise in
+        the point axis), so the old rows' bounds are bitwise unchanged.
+        """
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=float))
+        clone = object.__new__(SubspaceTransforms)
+        clone.divergence = self.divergence
+        clone.partitioning = self.partitioning
+        clone.sub_divergences = self.sub_divergences
+        clone.n_points = self.n_points + new_points.shape[0]
+        alphas = []
+        gammas = []
+        for sub_div, dims in zip(self.sub_divergences, self.partitioning.subspaces):
+            alpha, gamma = bd.transform_points(sub_div, new_points[:, dims])
+            alphas.append(alpha)
+            gammas.append(gamma)
+        clone.alpha = np.concatenate([self.alpha, np.stack(alphas, axis=1)])
+        clone.gamma = np.concatenate([self.gamma, np.stack(gammas, axis=1)])
+        return clone
+
     def query_triples(self, query: np.ndarray) -> List[bd.QueryTriple]:
         """Algorithm 3: the M per-subspace query triples."""
         sub_queries = self.partitioning.split(query)

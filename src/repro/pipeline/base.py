@@ -55,6 +55,13 @@ class SearchPipeline:
 
     def run(self, ctx: QueryBatchContext) -> QueryBatchContext:
         """Execute every stage in order, recording per-stage seconds."""
+        if ctx.snapshot is None:
+            # capture one atomic (frozen base, delta) pair so every stage
+            # reads a single consistent index state even when callers
+            # (benchmarks, tests) drive the pipeline without a driver
+            take = getattr(self.index, "snapshot", None)
+            if callable(take):
+                ctx.snapshot = take()
         for stage in self.stages:
             start = time.perf_counter()
             stage.run(ctx)

@@ -49,6 +49,12 @@ class QueryBatchContext:
     #: index concurrently without corrupting each other's page counts.
     #: ``None`` for charge-free partial runs (``refine_prefetched``).
     scope: Optional[QueryScope] = None
+    #: the immutable ``(frozen base, delta version)`` pair this request
+    #: runs against (:meth:`BrePartitionIndex.snapshot`).  Stages read
+    #: index components through it so concurrent mutations can never
+    #: tear a search; ``None`` (charge-free partial runs on indexes
+    #: without snapshot support) falls back to the live attributes.
+    snapshot: Optional[object] = None
 
     # -- Plan outputs ---------------------------------------------------
     #: per-query candidate id arrays (sorted, unique).
@@ -89,6 +95,9 @@ class QueryBatchContext:
     # -- Rerank outputs -------------------------------------------------
     #: per-query ``(top_ids, divergences)`` pairs, ascending divergence.
     refined: Optional[List[Tuple[np.ndarray, np.ndarray]]] = None
+    #: per-query count of delta-buffer points scored alongside the
+    #: frozen candidates (0 when the snapshot carries no delta).
+    delta_candidates: Optional[List[int]] = None
 
     # -- driver bookkeeping ---------------------------------------------
     #: wall-clock seconds per stage, in stage order.

@@ -50,20 +50,25 @@ def union_rows(
 class FetchStage(PipelineStage):
     name = "fetch"
 
+    def _store(self, ctx: QueryBatchContext):
+        """The context's datastore: the pinned snapshot's (immutable
+        under concurrent merges) or the live attribute without one."""
+        snap = ctx.snapshot
+        return snap.datastore if snap is not None else self.index.datastore
+
     def run(self, ctx: QueryBatchContext) -> None:
         pool = self.index.buffer_pool
+        store = self._store(ctx)
         if pool is not None:
             epoch = pool.begin_batch()
             if ctx.scope is not None:
                 ctx.scope.pool_epoch = epoch
         if ctx.single:
-            ctx.vectors = self.index.datastore.fetch(
-                ctx.candidates[0], scope=ctx.scope
-            )
-        elif isinstance(self.index.datastore, ShardedDataStore):
-            self._fetch_fanout(ctx)
+            ctx.vectors = store.fetch(ctx.candidates[0], scope=ctx.scope)
+        elif isinstance(store, ShardedDataStore):
+            self._fetch_fanout(ctx, store)
         else:
-            self._fetch_single_disk(ctx)
+            self._fetch_single_disk(ctx, store)
         if pool is not None and ctx.scope is not None:
             # the scope's own counter, not a global delta: exact even
             # with other batches hitting the pool mid-flight
@@ -73,10 +78,9 @@ class FetchStage(PipelineStage):
     # batch fetch, one simulated disk
     # ------------------------------------------------------------------
 
-    def _fetch_single_disk(self, ctx: QueryBatchContext) -> None:
+    def _fetch_single_disk(self, ctx: QueryBatchContext, store) -> None:
         index = self.index
-        store = index.datastore
-        ctx.union, ctx.row_of = union_rows(ctx.candidates, index.transforms.n_points)
+        ctx.union, ctx.row_of = union_rows(ctx.candidates, store.n_points)
         ctx.pages_coalesced, charged = store.charge_pages_detailed(
             ctx.candidates, scope=ctx.scope
         )
@@ -98,7 +102,7 @@ class FetchStage(PipelineStage):
     # batch fetch, sharded fan-out
     # ------------------------------------------------------------------
 
-    def _fetch_fanout(self, ctx: QueryBatchContext) -> None:
+    def _fetch_fanout(self, ctx: QueryBatchContext, store: ShardedDataStore) -> None:
         """One executor task per shard: charge, wait, peek the slab.
 
         Tasks scatter into disjoint slices of the union-ordered vector
@@ -107,8 +111,7 @@ class FetchStage(PipelineStage):
         ``ctx.pages_per_shard`` and task timings in ``ctx.shard_seconds``.
         """
         index = self.index
-        store: ShardedDataStore = index.datastore
-        ctx.union, ctx.row_of = union_rows(ctx.candidates, index.transforms.n_points)
+        ctx.union, ctx.row_of = union_rows(ctx.candidates, store.n_points)
         plan = store.shard_charge_plan(ctx.candidates)
         splits = store.shard_split(ctx.union)
         executor = index._make_executor()

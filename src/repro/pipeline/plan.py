@@ -8,6 +8,16 @@ widening recovery when adjusted radii return fewer than ``k``
 candidates.  Batch contexts take the fully vectorised path (one
 ``(B, n, M)`` tensor, one ``argpartition``, level-synchronous batch
 traversal); single contexts reproduce the scalar path bit for bit.
+
+Snapshot semantics: all components (transforms, partitioning, forest)
+are read through ``ctx.snapshot`` so a concurrent merge can never swap
+structures mid-plan.  When the snapshot carries tombstones, Algorithm
+4's ``k`` is inflated by the tombstone count (``k_plan``): Theorem 3
+then guarantees at least ``k_plan`` frozen candidates, of which at most
+``n_dead`` are dead, so at least ``k`` live ones survive the tombstone
+filter applied after traversal (or all remaining live frozen points,
+when fewer than ``k`` exist -- the delta merge in Rerank supplies the
+rest).
 """
 
 from __future__ import annotations
@@ -34,27 +44,43 @@ class PlanStage(PipelineStage):
         else:
             self._run_batch(ctx)
 
+    def _components(self, ctx: QueryBatchContext):
+        """(transforms, partitioning, forest, k_plan) for this context."""
+        snap = ctx.snapshot
+        if snap is None:
+            index = self.index
+            return index.transforms, index.partitioning, index.forest, ctx.k
+        k_plan = min(snap.n_frozen, ctx.k + snap.n_dead)
+        return snap.transforms, snap.partitioning, snap.forest, k_plan
+
+    def _filter_live(self, ctx: QueryBatchContext, candidates: np.ndarray):
+        snap = ctx.snapshot
+        if snap is None:
+            return candidates
+        return snap.filter_live(candidates)
+
     # ------------------------------------------------------------------
     # scalar path (BrePartitionIndex.search)
     # ------------------------------------------------------------------
 
     def _run_single(self, ctx: QueryBatchContext) -> None:
         index = self.index
+        transforms, partitioning, forest, k_plan = self._components(ctx)
         query = ctx.queries[0]
-        triples = index.transforms.query_triples(query)
-        ub_matrix = index.transforms.upper_bound_matrix(triples)
-        search_bounds = determine_search_bounds(ub_matrix, ctx.k)
+        triples = transforms.query_triples(query)
+        ub_matrix = transforms.upper_bound_matrix(triples)
+        search_bounds = determine_search_bounds(ub_matrix, k_plan)
         exact_radii = pad_radii(search_bounds.radii)
         radii = pad_radii(index._adjust_radii(search_bounds, triples))
 
-        sub_queries = index.partitioning.split(query)
-        candidates, forest_stats = index.forest.range_union(
+        sub_queries = partitioning.split(query)
+        candidates, forest_stats = forest.range_union(
             sub_queries, radii, point_filter=index.config.point_filter
         )
         candidates, forest_stats = self.widen_if_short(
-            sub_queries, radii, exact_radii, ctx.k, candidates, forest_stats
+            forest, sub_queries, radii, exact_radii, k_plan, candidates, forest_stats
         )
-        ctx.candidates = [candidates]
+        ctx.candidates = [self._filter_live(ctx, candidates)]
         ctx.forest_stats = [forest_stats]
         ctx.bound_totals = np.array([search_bounds.total])
 
@@ -64,45 +90,49 @@ class PlanStage(PipelineStage):
 
     def _run_batch(self, ctx: QueryBatchContext) -> None:
         index = self.index
+        transforms, partitioning, forest, k_plan = self._components(ctx)
         queries = ctx.queries
-        triples = index.transforms.query_triples_batch(queries)
-        ub_tensor = index.transforms.upper_bound_tensor(triples)
-        search_bounds = determine_search_bounds_batch(ub_tensor, ctx.k)
+        triples = transforms.query_triples_batch(queries)
+        ub_tensor = transforms.upper_bound_tensor(triples)
+        search_bounds = determine_search_bounds_batch(ub_tensor, k_plan)
         exact_radii = pad_radii(search_bounds.radii)
         radii = pad_radii(index._adjust_radii_batch(search_bounds, triples))
 
-        sub_matrices = index.partitioning.split_matrix(queries)
-        candidates, forest_stats = index.forest.range_union_batch(
+        sub_matrices = partitioning.split_matrix(queries)
+        candidates, forest_stats = forest.range_union_batch(
             sub_matrices, radii, point_filter=index.config.point_filter
         )
         for q in range(ctx.n_queries):
-            if candidates[q].size < ctx.k:
+            if candidates[q].size < k_plan:
                 sub_queries = [mat[q] for mat in sub_matrices]
                 candidates[q], forest_stats[q] = self.widen_if_short(
+                    forest,
                     sub_queries,
                     radii[q],
                     exact_radii[q],
-                    ctx.k,
+                    k_plan,
                     candidates[q],
                     forest_stats[q],
                 )
+            candidates[q] = self._filter_live(ctx, candidates[q])
         ctx.candidates = candidates
         ctx.forest_stats = forest_stats
         ctx.bound_totals = np.asarray(search_bounds.totals, dtype=float)
 
     def widen_if_short(
-        self, sub_queries, radii, exact_radii, k, candidates, forest_stats
+        self, forest, sub_queries, radii, exact_radii, k, candidates, forest_stats
     ):
         """Recover >= k candidates when adjusted radii were too aggressive.
 
         Bisects the interpolation between the adjusted and the exact
         radii (which Theorem 3 guarantees yield >= k candidates) for the
         smallest widening that returns at least k.  Exact search radii
-        equal the exact radii, so this is a no-op there.
+        equal the exact radii, so this is a no-op there.  Counts are
+        pre-tombstone-filter: ``k`` here is the caller's inflated
+        ``k_plan``, so the guarantee survives the filter.
         """
         if candidates.size >= k or np.array_equal(radii, exact_radii):
             return candidates, forest_stats
-        forest = self.index.forest
         point_filter = self.index.config.point_filter
         lo, hi = 0.0, 1.0
         best = forest.range_union(sub_queries, exact_radii, point_filter=point_filter)

@@ -23,6 +23,10 @@ from .context import QueryBatchContext
 
 __all__ = ["RefineStage", "build_pairs"]
 
+#: sentinel for "use the index's live conditioner" (``None`` is a valid
+#: explicit value meaning "no conditioning").
+_UNSET = object()
+
 
 def build_pairs(
     candidates: List[np.ndarray], row_of: np.ndarray
@@ -45,8 +49,19 @@ class RefineStage(PipelineStage):
     name = "refine"
 
     def run(self, ctx: QueryBatchContext) -> None:
+        # read the conditioner through the pinned snapshot so a merge
+        # republishing the index mid-flight can't swap it under us
+        snap = ctx.snapshot
+        conditioner = (
+            snap.refine_conditioner if snap is not None else _UNSET
+        )
         if ctx.single:
-            ctx.scores = self.score_dense(ctx.vectors, ctx.queries)[:, 0]
+            if ctx.vectors is None or ctx.vectors.shape[0] == 0:
+                ctx.scores = np.empty(0, dtype=float)
+                return
+            ctx.scores = self.score_dense(
+                ctx.vectors, ctx.queries, conditioner=conditioner
+            )[:, 0]
             return
         n_queries = ctx.n_queries
         if ctx.union is None or ctx.union.size == 0 or n_queries == 0:
@@ -57,14 +72,18 @@ class RefineStage(PipelineStage):
         vectors, queries = ctx.vectors, ctx.queries
         if kernel == "sparse":
             pair_rows, pair_queries, offsets = build_pairs(ctx.candidates, ctx.row_of)
-            flat = self.score_sparse(vectors, queries, pair_rows, pair_queries)
+            flat = self.score_sparse(
+                vectors, queries, pair_rows, pair_queries, conditioner=conditioner
+            )
             ctx.scores_of = lambda q, rows: flat[offsets[q] : offsets[q + 1]]
         else:
             block = self.index.config.refinement_block_for(n_queries, vectors.shape[1])
             cross = np.empty((ctx.union.size, n_queries), dtype=float)
             for lo in range(0, ctx.union.size, block):
                 hi = min(lo + block, ctx.union.size)
-                cross[lo:hi] = self.score_dense(vectors[lo:hi], queries)
+                cross[lo:hi] = self.score_dense(
+                    vectors[lo:hi], queries, conditioner=conditioner
+                )
             ctx.scores_of = lambda q, rows: cross[rows, q]
 
     # ------------------------------------------------------------------
@@ -97,7 +116,9 @@ class RefineStage(PipelineStage):
     # conditioner-wrapped kernels
     # ------------------------------------------------------------------
 
-    def score_dense(self, vectors: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    def score_dense(
+        self, vectors: np.ndarray, queries: np.ndarray, conditioner=_UNSET
+    ) -> np.ndarray:
         """Exact ``(n, B)`` divergences of every (vector, query) pair.
 
         Routes through the divergence's expansion-form cross kernel,
@@ -109,7 +130,8 @@ class RefineStage(PipelineStage):
         and per-query paths rely on.
         """
         index = self.index
-        conditioner = index._refine_conditioner
+        if conditioner is _UNSET:
+            conditioner = index._refine_conditioner
         if conditioner is not None:
             vectors = conditioner.transform(vectors)
             queries = conditioner.transform(queries)
@@ -124,6 +146,7 @@ class RefineStage(PipelineStage):
         queries: np.ndarray,
         point_index: np.ndarray,
         query_index: np.ndarray,
+        conditioner=_UNSET,
     ) -> np.ndarray:
         """Sparse analogue of :meth:`score_dense`: only the listed pairs.
 
@@ -133,7 +156,8 @@ class RefineStage(PipelineStage):
         the dense one cannot change a single bit of its scores.
         """
         index = self.index
-        conditioner = index._refine_conditioner
+        if conditioner is _UNSET:
+            conditioner = index._refine_conditioner
         if conditioner is not None:
             vectors = conditioner.transform(vectors)
             queries = conditioner.transform(queries)

@@ -8,6 +8,16 @@ Single and batch contexts, dense and sparse layouts, sequential and
 fanned-out fetches all converge on one :meth:`RerankStage.topk`
 implementation, which is what makes their tie-breaking -- and therefore
 the bitwise single/batch parity contract -- identical by construction.
+
+Snapshot-aware reranking: when the context's snapshot carries a
+non-identity row -> external-id mapping, candidates are reordered by
+ascending *external* id before the top-k, so positional tie-breaking
+matches a from-scratch index over the live points sorted by id.  When
+the snapshot carries unmerged delta inserts, the frozen top-k is then
+merged with a brute-force direct scoring of the (memory-resident, so
+zero-page) delta points: both sides use the same row-count-independent
+``batch_divergence`` kernel and the same id-sorted ``top_k_stable``
+selection, which keeps every merged result bitwise equal to the oracle.
 """
 
 from __future__ import annotations
@@ -50,33 +60,87 @@ class RerankStage(PipelineStage):
     name = "rerank"
 
     def run(self, ctx: QueryBatchContext) -> None:
+        snap = ctx.snapshot
+        delta_n = snap.delta.n_inserts if snap is not None else 0
+        ctx.delta_candidates = [delta_n] * ctx.n_queries
         if ctx.single:
-            ids = ctx.candidates[0]
-            vectors = ctx.vectors
-            ctx.refined = [
-                self.topk(
-                    ids, ctx.scores, ctx.queries[0], ctx.k, lambda sel: vectors[sel]
-                )
-            ]
+            frozen = self._frozen_topk_single(ctx, snap)
+            ctx.refined = [self._merge_delta(frozen, ctx.queries[0], ctx.k, snap)]
             return
+        empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
         if ctx.union is None or ctx.union.size == 0 or ctx.n_queries == 0:
-            empty = (np.empty(0, dtype=int), np.empty(0, dtype=float))
-            ctx.refined = [empty for _ in range(ctx.n_queries)]
-            return
-        refined = []
-        vectors, row_of = ctx.vectors, ctx.row_of
-        for q, ids in enumerate(ctx.candidates):
-            rows = row_of[ids]
-            refined.append(
-                self.topk(
+            # no frozen candidates anywhere; results may still come
+            # entirely from the delta buffer
+            frozen_pairs = [empty] * ctx.n_queries
+        else:
+            frozen_pairs = []
+            vectors, row_of = ctx.vectors, ctx.row_of
+            for q, ids in enumerate(ctx.candidates):
+                if ids.size == 0:
+                    frozen_pairs.append(empty)
+                    continue
+                rows = row_of[ids]
+                ids, scores, gather = self._id_ordered(
                     ids,
                     ctx.scores_of(q, rows),
-                    ctx.queries[q],
-                    ctx.k,
-                    lambda sel: vectors[rows[sel]],
+                    snap,
+                    lambda sel, rows=rows: vectors[rows[sel]],
                 )
-            )
-        ctx.refined = refined
+                frozen_pairs.append(
+                    self.topk(ids, scores, ctx.queries[q], ctx.k, gather)
+                )
+        ctx.refined = [
+            self._merge_delta(pair, ctx.queries[q], ctx.k, snap)
+            for q, pair in enumerate(frozen_pairs)
+        ]
+
+    def _frozen_topk_single(self, ctx: QueryBatchContext, snap):
+        """The single path's frozen-side top-k pair."""
+        ids = ctx.candidates[0]
+        if ids.size == 0:
+            return (np.empty(0, dtype=int), np.empty(0, dtype=float))
+        vectors = ctx.vectors
+        ids, scores, gather = self._id_ordered(
+            ids, ctx.scores, snap, lambda sel: vectors[sel]
+        )
+        return self.topk(ids, scores, ctx.queries[0], ctx.k, gather)
+
+    def _id_ordered(self, ids: np.ndarray, scores: np.ndarray, snap, gather):
+        """Reorder candidates so ``topk`` ties break by ascending external id.
+
+        ``ids`` arrive as frozen row numbers sorted ascending; with an
+        identity snapshot (or none) rows *are* external ids and the
+        arrays pass through untouched -- the pre-mutation bitwise
+        contract.  A merged base maps rows to external ids out of order,
+        so here the candidate axis is re-sorted by external id
+        (candidate rows are live, hence their ids are unique and the
+        order is total) and the gather is composed with the permutation.
+        """
+        if snap is None or snap.base.identity:
+            return ids, scores, gather
+        ext = snap.base.global_ids[ids]
+        order = np.argsort(ext, kind="stable")
+        return ext[order], scores[order], lambda sel: gather(order[sel])
+
+    def _merge_delta(self, frozen, query: np.ndarray, k: int, snap):
+        """Merge the frozen top-k with a direct scan of the delta inserts.
+
+        Delta points live in memory, so this charges zero pages -- the
+        per-scope accounting stays exact.  Both arrays are concatenated
+        and re-sorted by external id before one ``top_k_stable``: with
+        disjoint id sets (a reinserted id's frozen predecessor is dead
+        and was filtered in Plan) this reproduces, bit for bit, the
+        selection a from-scratch index over the live points would make.
+        """
+        if snap is None or not snap.has_delta:
+            return frozen
+        delta = snap.delta
+        d_div = self.index.divergence.batch_divergence(delta.points, query)
+        ids_all = np.concatenate([frozen[0], delta.ids])
+        div_all = np.concatenate([frozen[1], d_div])
+        order = np.argsort(ids_all, kind="stable")
+        sel = top_k_stable(div_all[order], k)
+        return ids_all[order][sel], div_all[order][sel]
 
     def topk(
         self,
@@ -107,6 +171,8 @@ class RerankStage(PipelineStage):
         case the rerank degrades to a direct-kernel scan of all
         candidates, which is exactly the safe fallback.
         """
+        if ids.size == 0:
+            return (np.empty(0, dtype=int), np.empty(0, dtype=float))
         divergence = self.index.divergence
         buffer = min(ids.size, max(2 * k, k + _RERANK_BUFFER))
         while True:

@@ -30,6 +30,13 @@ Responses are the exact per-query
 :class:`~repro.core.results.SearchResult` records, bitwise identical to
 a direct ``index.search`` call -- the pipeline's single/batch parity
 contract is what makes transparent micro-batching sound.
+
+Mutations ride the same front-end: :meth:`MicroBatcher.insert` /
+:meth:`MicroBatcher.delete` apply through the index's delta buffer
+(O(delta), no event-loop blocking), every search batch serves from the
+epoch/snapshot it pinned at dispatch, and ``merge_threshold`` folds the
+delta back into the frozen index on a background worker while serving
+continues uninterrupted.
 """
 
 from __future__ import annotations
@@ -80,6 +87,12 @@ class MicroBatchConfig:
         frees (backpressure); ``"reject"`` fails them immediately with
         :class:`~repro.exceptions.ServerOverloadedError` (load
         shedding).
+    merge_threshold:
+        Schedule a background :meth:`BrePartitionIndex.merge` once this
+        many unmerged delta ops have accumulated; ``None`` (default)
+        never merges automatically.  The merge runs on its own worker
+        thread -- in-flight and new searches keep serving from their
+        pinned snapshots throughout.
     """
 
     max_batch_size: int = 32
@@ -87,6 +100,7 @@ class MicroBatchConfig:
     max_concurrent_batches: int = 1
     max_queue_depth: Optional[int] = None
     overflow: str = "wait"
+    merge_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -109,6 +123,10 @@ class MicroBatchConfig:
         if self.overflow not in _OVERFLOW_MODES:
             raise InvalidParameterError(
                 f"overflow must be one of {_OVERFLOW_MODES}, got {self.overflow!r}"
+            )
+        if self.merge_threshold is not None and self.merge_threshold < 1:
+            raise InvalidParameterError(
+                f"merge_threshold must be >= 1 or None, got {self.merge_threshold}"
             )
 
 
@@ -151,6 +169,12 @@ class ServeStats:
     n_rejected: int = 0
     #: simulated pages charged across all served batches.
     total_pages_read: int = 0
+    #: points inserted through :meth:`MicroBatcher.insert`.
+    n_inserts: int = 0
+    #: points deleted through :meth:`MicroBatcher.delete`.
+    n_deletes: int = 0
+    #: background merges completed successfully.
+    n_merges: int = 0
     #: effective sizes of the most recent dispatches, in dispatch order.
     batch_sizes: Deque[int] = field(
         default_factory=lambda: deque(maxlen=_BATCH_SIZE_HISTORY)
@@ -206,9 +230,12 @@ class MicroBatcher:
         max_concurrent_batches: Optional[int] = None,
         max_queue_depth: Optional[int] = None,
         overflow: Optional[str] = None,
+        merge_threshold: Optional[int] = None,
     ) -> None:
         config = config if config is not None else MicroBatchConfig()
         overrides = {}
+        if merge_threshold is not None:
+            overrides["merge_threshold"] = merge_threshold
         if max_batch_size is not None:
             overrides["max_batch_size"] = max_batch_size
         if max_wait_ms is not None:
@@ -244,6 +271,13 @@ class MicroBatcher:
             max_workers=config.max_concurrent_batches,
             thread_name_prefix="repro-serve",
         )
+        # background-merge plumbing (lazy: never built when the index
+        # has no merge support or merge_threshold stays None)
+        self._merge_executor: Optional[ThreadPoolExecutor] = None
+        self._merge_task = None
+        #: terminal error of a failed background merge; re-raised by
+        #: :meth:`close` so a silent merge failure cannot be lost.
+        self.merge_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
     # request side (event loop thread)
@@ -371,6 +405,64 @@ class MicroBatcher:
             self._reserved += 1
             waiter.set_result(None)
 
+    # ------------------------------------------------------------------
+    # mutation side (event loop thread; index mutations are O(delta))
+    # ------------------------------------------------------------------
+
+    async def insert(self, point: np.ndarray, point_id: Optional[int] = None) -> int:
+        """Insert one point through the index's delta buffer.
+
+        Returns the point's external id (assigned by the index when
+        ``point_id`` is ``None``).  The insert is visible to every
+        search snapshotted after it returns; searches already in flight
+        serve their pinned pre-insert snapshot.  May schedule a
+        background merge (``config.merge_threshold``).
+        """
+        if self._closed:
+            raise InvalidParameterError("MicroBatcher is closed")
+        pid = self.index.insert(point, point_id)
+        self.stats.n_inserts += 1
+        self._maybe_merge(asyncio.get_running_loop())
+        return pid
+
+    async def delete(self, point_id: int) -> None:
+        """Delete one live point (tombstoned until the next merge)."""
+        if self._closed:
+            raise InvalidParameterError("MicroBatcher is closed")
+        self.index.delete(point_id)
+        self.stats.n_deletes += 1
+        self._maybe_merge(asyncio.get_running_loop())
+
+    def _maybe_merge(self, loop) -> None:
+        """Kick a background merge when the delta has grown enough.
+
+        At most one merge is in flight; the merge worker never blocks
+        the event loop or the search pool, and the index's snapshot
+        publication keeps concurrent searches consistent throughout.
+        """
+        threshold = self.config.merge_threshold
+        if threshold is None or self._merge_task is not None:
+            return
+        delta_ops = getattr(self.index, "delta_ops", 0)
+        if delta_ops < threshold:
+            return
+        if self._merge_executor is None:
+            self._merge_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-merge"
+            )
+        task = loop.run_in_executor(self._merge_executor, self.index.merge)
+        self._merge_task = task
+        task.add_done_callback(self._merge_done)
+
+    def _merge_done(self, task) -> None:
+        """Record the background merge's outcome and clear the slot."""
+        self._merge_task = None
+        error = task.exception() if not task.cancelled() else None
+        if error is not None:
+            self.merge_error = error
+        else:
+            self.stats.n_merges += 1
+
     async def close(self) -> None:
         """Flush the queue, await in-flight batches, stop the workers."""
         self._closed = True
@@ -379,7 +471,14 @@ class MicroBatcher:
         self._wake_admission_waiters()
         if self._inflight:
             await asyncio.gather(*list(self._inflight), return_exceptions=True)
+        merge_task = self._merge_task
+        if merge_task is not None:
+            await asyncio.gather(merge_task, return_exceptions=True)
         self._executor.shutdown(wait=True)
+        if self._merge_executor is not None:
+            self._merge_executor.shutdown(wait=True)
+        if self.merge_error is not None:
+            raise self.merge_error
 
     async def __aenter__(self) -> "MicroBatcher":
         return self

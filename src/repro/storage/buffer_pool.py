@@ -108,8 +108,14 @@ class BufferPool:
         return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        """Drop all cached pages and reset statistics."""
-        self._lru.clear()
-        self.hits = 0
-        self.misses = 0
-        self.cross_batch_hits = 0
+        """Drop all cached pages and reset statistics.
+
+        Serialised by the same lock as :meth:`access`: shard workers
+        mid-fetch on other threads observe either the pre-clear or the
+        post-clear pool, never a half-reset LRU/counter mix.
+        """
+        with self._lock:
+            self._lru.clear()
+            self.hits = 0
+            self.misses = 0
+            self.cross_batch_hits = 0

@@ -206,6 +206,36 @@ class DataStore:
         ids = np.asarray(point_ids, dtype=int)
         return self._storage[self._position[ids]]
 
+    def extended(self, new_points: np.ndarray) -> "DataStore":
+        """A new store with ``new_points`` appended after the existing file.
+
+        The extend-mode merge path: the original ``n`` points keep their
+        logical ids, physical positions, pages and slots *and* the same
+        simulated fileno, so buffer-pool entries and per-page accounting
+        for the old file remain valid; the appended points fill fresh
+        pages after the old last page.  The receiver is left untouched
+        (snapshots pinned to it keep reading it).
+        """
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=float))
+        if new_points.shape[1] != self.dimensionality:
+            raise InvalidParameterError(
+                f"new points must have dimension {self.dimensionality}, "
+                f"got {new_points.shape[1]}"
+            )
+        n, m = self.n_points, new_points.shape[0]
+        # physical position -> logical id for the existing file
+        old_layout = np.empty(n, dtype=int)
+        old_layout[self._position] = np.arange(n)
+        store = DataStore(
+            np.vstack([self._storage[self._position], new_points]),
+            layout_order=np.concatenate([old_layout, n + np.arange(m)]),
+            page_size_bytes=self.page_size_bytes,
+            tracker=self.tracker,
+            buffer_pool=self.buffer_pool,
+        )
+        store.fileno = self.fileno
+        return store
+
     def _charge(self, page: int, scope: Optional[QueryScope] = None) -> bool:
         """Charge one page; ``True`` when it actually hit the disk."""
         if self.buffer_pool is not None and self.buffer_pool.access(

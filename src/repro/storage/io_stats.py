@@ -62,6 +62,7 @@ class QueryScope:
         "writes",
         "pool_epoch",
         "cross_batch_hits",
+        "pinned",
         "_pages",
         "_lock",
         "_finished",
@@ -77,6 +78,9 @@ class QueryScope:
         #: pool hits on pages an earlier (or concurrent other) scope
         #: paid for -- incremented by the pool under its own lock.
         self.cross_batch_hits = 0
+        #: index snapshot pinned for this scope's lifetime (see
+        #: :meth:`pin`); released exactly once by :meth:`finish`.
+        self.pinned = None
         self._pages: Set[tuple[int, int]] = set()
         self._lock = threading.Lock()
         self._finished = False
@@ -95,6 +99,21 @@ class QueryScope:
             self.reads += 1
             return True
 
+    def pin(self, snapshot) -> None:
+        """Pin an index snapshot (anything with ``pin``/``unpin``) to
+        this scope's lifetime.
+
+        The search drivers pin the :class:`~repro.core.snapshot.IndexSnapshot`
+        they opened with, so a background merge knows when every scope
+        still reading the old frozen base has drained.  :meth:`finish`
+        releases the pin exactly once.
+        """
+        snapshot.pin()
+        with self._lock:
+            if self.pinned is not None:
+                self.pinned.unpin()
+            self.pinned = snapshot
+
     def admit_write(self) -> None:
         """Count a write within this scope (writes never dedup)."""
         with self._lock:
@@ -106,17 +125,20 @@ class QueryScope:
             return QueryIOSnapshot(pages_read=self.reads, pages_written=self.writes)
 
     def finish(self) -> QueryIOSnapshot:
-        """Close the scope: bump the tracker's query count once and
-        return the final snapshot.  Idempotent."""
+        """Close the scope: bump the tracker's query count once, release
+        any pinned snapshot, and return the final snapshot.  Idempotent."""
         with self._lock:
             if not self._finished:
                 self._finished = True
                 first = True
             else:
                 first = False
+            pinned, self.pinned = self.pinned, None
             snap = QueryIOSnapshot(pages_read=self.reads, pages_written=self.writes)
         if first:
             self.tracker._count_query()
+        if pinned is not None:
+            pinned.unpin()
         return snap
 
     def __enter__(self) -> "QueryScope":

@@ -130,6 +130,7 @@ class ShardedDataStore:
         # unsharded disk image); shards preserve this relative order.
         rank = np.empty(n, dtype=int)
         rank[layout_order] = np.arange(n)
+        self._layout_rank = rank
 
         if shard_of is None:
             shard_of = (rank // self.points_per_page) % self.n_shards
@@ -345,6 +346,52 @@ class ShardedDataStore:
             if local.size:
                 out[mask] = store.peek(local)
         return out
+
+    def extended(
+        self,
+        new_points: np.ndarray,
+        shard_of_new: Sequence[int] | None = None,
+    ) -> "ShardedDataStore":
+        """A new sharded store with ``new_points`` appended.
+
+        Extend-mode merge counterpart of :meth:`DataStore.extended`:
+        existing points keep their logical ids, shard placement and
+        shard-local positions (new points get layout ranks *after* every
+        existing rank, so per-shard relative order -- and therefore old
+        local pages -- is preserved), and each shard keeps its fileno
+        and lifetime :class:`ShardTracker`, so buffer-pool entries and
+        per-shard accounting carry over.  ``shard_of_new`` defaults to
+        round-robin placement of the appended points.
+        """
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=float))
+        if new_points.shape[1] != self.dimensionality:
+            raise InvalidParameterError(
+                f"new points must have dimension {self.dimensionality}, "
+                f"got {new_points.shape[1]}"
+            )
+        n, m = self.n_points, new_points.shape[0]
+        if shard_of_new is None:
+            shard_of_new = np.arange(m) % self.n_shards
+        shard_of_new = np.asarray(shard_of_new, dtype=int)
+        # physical rank -> logical id for the existing global layout
+        old_layout = np.empty(n, dtype=int)
+        old_layout[self._layout_rank] = np.arange(n)
+        store = ShardedDataStore(
+            np.vstack([self.peek(np.arange(n)), new_points]),
+            self.n_shards,
+            layout_order=np.concatenate([old_layout, n + np.arange(m)]),
+            shard_of=np.concatenate([self.shard_of, shard_of_new]),
+            page_size_bytes=self.page_size_bytes,
+            tracker=self.tracker,
+            buffer_pool=self.buffer_pool,
+        )
+        # keep shard identities: same filenos (pool keys stay valid) and
+        # the same lifetime per-shard trackers
+        store.shard_trackers = self.shard_trackers
+        for s in range(self.n_shards):
+            store.shards[s].fileno = self.shards[s].fileno
+            store.shards[s].tracker = self.shard_trackers[s]
+        return store
 
     # ------------------------------------------------------------------
     # reporting

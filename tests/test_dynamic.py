@@ -150,3 +150,68 @@ class TestDelete:
         live_points = np.stack([live[i] for i in live_ids])
         exact = div.batch_divergence(live_points, query)
         np.testing.assert_allclose(np.sort(dists), np.sort(exact)[:5], rtol=1e-8)
+
+
+class TestRowBookkeeping:
+    """The backing arrays must stay consistent through delete/reinsert."""
+
+    def test_delete_retires_the_row_id(self):
+        div = SquaredEuclidean()
+        points, tree = _build(div)
+        row = tree._row_of[17]
+        tree.delete(17)
+        # the row must not keep claiming id 17: a later id->row rebuild
+        # (or anything scanning _ids) would resurrect the deleted point
+        assert tree._ids[row] == -1
+        assert 17 not in tree._row_of
+
+    def test_freed_rows_are_reused_without_growth(self):
+        div = SquaredEuclidean()
+        points, tree = _build(div)
+        n_rows = tree._points.shape[0]
+        row = tree._row_of[17]
+        tree.delete(17)
+        tree.insert(np.zeros(6), 500)
+        assert tree._points.shape[0] == n_rows  # reused, not appended
+        assert tree._row_of[500] == row
+        assert tree._ids[row] == 500
+
+    def test_collect_ids_agrees_with_membership_after_churn(self):
+        div = SquaredEuclidean()
+        points, tree = _build(div, n=40)
+        rng = np.random.default_rng(118)
+        live = set(range(40))
+        for i in range(30):
+            if live and rng.random() < 0.5:
+                victim = int(rng.choice(sorted(live)))
+                tree.delete(victim)
+                live.discard(victim)
+            else:
+                tree.insert(rng.normal(size=6), 4000 + i)
+                live.add(4000 + i)
+        np.testing.assert_array_equal(tree.collect_ids(), np.array(sorted(live)))
+
+    def test_delete_reinsert_roundtrips(self):
+        div = SquaredEuclidean()
+        points, tree = _build(div)
+        for _ in range(3):
+            tree.delete(8)
+            tree.insert(points[8], 8)
+        ids, dists, _ = tree.knn(points[8], k=1)
+        assert ids[0] == 8
+        assert dists[0] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDegenerateSplit:
+    def test_duplicate_points_fall_back_to_half_split(self):
+        """Identical points defeat two-means (one cluster swallows all);
+        the half-split fallback must keep capacity bounded and kNN exact."""
+        div = SquaredEuclidean()
+        points, tree = _build(div, n=16, leaf_capacity=4)
+        dup = points[0].copy()
+        for i in range(12):
+            tree.insert(dup, 9000 + i)
+        assert all(len(leaf.point_ids) <= 4 for leaf in tree.leaves())
+        ids, dists, _ = tree.knn(dup, k=13)
+        assert set(9000 + np.arange(12)) <= set(ids.tolist())
+        np.testing.assert_allclose(dists[:13], 0.0, atol=1e-12)

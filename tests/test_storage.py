@@ -325,3 +325,35 @@ class TestIOCostModel:
 
     def test_zero_pages(self):
         assert IOCostModel().seconds_for(0) == 0.0
+
+
+class TestBufferPoolConcurrency:
+    def test_clear_is_safe_under_concurrent_access(self):
+        """clear() must hold the pool lock: racing it against access()
+        used to let a concurrent insert survive the wipe mid-iteration
+        or corrupt the LRU ordering."""
+        pool = BufferPool(capacity_pages=8)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    pool.access(1, int(rng.integers(32)))
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                pool.clear()
+                with pool._lock:
+                    assert len(pool._lru) <= pool.capacity_pages
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
