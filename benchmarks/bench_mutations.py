@@ -17,27 +17,34 @@ This benchmark demonstrates the operational claims:
   compacts tombstones away) -- both swap atomically under serving.
 
 Running the file directly rewrites ``BENCH_mutations.json`` at the repo
-root.  ``--smoke`` runs a seconds-scale threaded linearizability pass
-with no timing claims (safe on loaded CI runners): concurrent
-searchers, a mutator and a background merger hammer one index, and
-every response must be bitwise equal to the exact answer for *some*
-prefix of the applied updates -- bracketed by the index's monotone
-``updates_applied`` counter -- while per-scope page counts sum exactly
-to the tracker total.
+root (now including a durability arm: WAL append overhead per insert,
+crash-recovery time and replay parity).  ``--smoke`` runs a
+seconds-scale threaded linearizability pass with no timing claims (safe
+on loaded CI runners): concurrent searchers, a mutator and a background
+merger hammer one index, and every response must be bitwise equal to
+the exact answer for *some* prefix of the applied updates -- bracketed
+by the index's monotone ``updates_applied`` counter -- while per-scope
+page counts sum exactly to the tracker total.  ``--smoke --faults``
+runs the chaos variant instead: seeded transient faults on every shard
+with retry/backoff enabled, where all serving responses must stay
+bitwise equal to a fault-free twin and the page accounting exact.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.index import BrePartitionIndex
 from repro.datasets import load_dataset
-from repro.serve import make_serving_index
+from repro.serve import MicroBatcher, make_serving_index
+from repro.storage import FaultInjector
 
 DATASET = "fonts"
 N_POINTS = 400
@@ -214,6 +221,134 @@ def smoke() -> None:
     )
 
 
+def smoke_faults() -> None:
+    """Chaos CI pass: transient shard faults must change nothing.
+
+    Two bitwise-identical indexes (same dataset, seed and config) serve
+    the same scripted mutations and queries; one of them takes seeded
+    transient read faults (probability well above the 0.05 acceptance
+    floor on every shard) absorbed by retry/backoff.  Every response
+    served through the :class:`~repro.serve.MicroBatcher` must be
+    bitwise equal to the fault-free twin's direct ``search``, each
+    response's page count must match the twin's, and the per-shard
+    tracker mirrors must still sum exactly to the aggregate.
+    """
+    import asyncio
+
+    overrides = dict(
+        dataset_name=DATASET,
+        n=N_POINTS,
+        n_queries=16,
+        iops=None,
+        n_shards=4,
+        shard_workers=2,
+        io_max_retries=64,
+        io_backoff_ms=0.0,
+        io_backoff_cap_ms=0.0,
+    )
+    dataset, faulty = make_serving_index(**overrides)
+    _, clean = make_serving_index(**overrides)
+    injector = FaultInjector(seed=7)
+    injector.set_plan(probability=0.25)  # every shard, >= the 0.05 floor
+    faulty.attach_fault_injector(injector)
+
+    pool = _mutation_pool(24)
+    for vec in pool:  # identical mutation history on both twins
+        faulty.insert(vec)
+        clean.insert(vec)
+    for victim in (5, 41, 107):
+        faulty.delete(victim)
+        clean.delete(victim)
+    faulty.merge(mode="extend")
+    clean.merge(mode="extend")
+
+    queries = dataset.queries
+    pages_before = faulty.tracker.total_pages_read
+
+    async def serve():
+        async with MicroBatcher(faulty, K, max_batch_size=4) as batcher:
+            results = []
+            for _ in range(3):  # several rounds keep batches forming
+                results.extend(
+                    await asyncio.gather(*(batcher.search(q) for q in queries))
+                )
+            return results, batcher.stats
+
+    results, stats = asyncio.run(serve())
+
+    for i, got in enumerate(results):
+        want = clean.search(queries[i % len(queries)], K)
+        assert np.array_equal(got.ids, want.ids), "ids drifted under faults"
+        assert np.array_equal(
+            got.divergences, want.divergences
+        ), "divergences drifted under faults"
+
+    assert injector.n_injected > 0, "fault plan never fired"
+    retries = sum(s.io_retries for s in stats.batch_stats)
+    assert retries >= injector.n_injected
+
+    # accounting stays exact under retries: the serving layer's batch
+    # totals equal the tracker delta, and the shard mirrors (which only
+    # count charges the aggregate admitted) still sum to the aggregate
+    charged = faulty.tracker.total_pages_read - pages_before
+    assert stats.total_pages_read == charged
+    mirrors = sum(t.total_pages_read for t in faulty.datastore.shard_trackers)
+    assert mirrors == faulty.tracker.total_pages_read
+
+    print(
+        f"faults smoke OK: {len(results)} served responses bitwise-equal to "
+        f"the fault-free twin across {injector.n_injected} injected faults "
+        f"({retries} retries) on 4 shards; {charged} charged pages equal the "
+        f"tracker delta and the shard mirrors sum exactly"
+    )
+
+
+def bench_durability() -> dict:
+    """WAL overhead + crash-recovery timing and parity for the report."""
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_path = str(Path(tmp) / "bench.wal")
+        dataset, index = make_serving_index(
+            dataset_name=DATASET, n=N_POINTS, n_queries=8, iops=None,
+            wal_path=wal_path,
+        )
+        pool = _mutation_pool(128)
+        start = time.perf_counter()
+        inserted = [index.insert(vec) for vec in pool]
+        wal_insert_us = (time.perf_counter() - start) / pool.shape[0] * 1e6
+        for victim in inserted[::8]:
+            index.delete(victim)
+
+        # simulate the crash: recover purely from the on-disk log
+        start = time.perf_counter()
+        recovered = BrePartitionIndex.recover(
+            wal_path, dataset.divergence, config=index.config
+        )
+        recover_ms = (time.perf_counter() - start) * 1e3
+
+        parity = True
+        for query in dataset.queries:
+            want = index.search(query, K)
+            got = recovered.search(query, K)
+            parity &= bool(
+                np.array_equal(got.ids, want.ids)
+                and np.array_equal(got.divergences, want.divergences)
+            )
+        assert parity, "recovered index diverged from the crashed one"
+        stats = recovered.recovery_stats
+        print(
+            f"  durability: WAL insert {wal_insert_us:.1f} us/op, recovery "
+            f"{recover_ms:.1f} ms ({stats.replayed_inserts} inserts + "
+            f"{stats.replayed_deletes} deletes replayed), parity OK"
+        )
+        return {
+            "wal_insert_us": round(wal_insert_us, 3),
+            "recover_ms": round(recover_ms, 3),
+            "replayed_inserts": stats.replayed_inserts,
+            "replayed_deletes": stats.replayed_deletes,
+            "recovered_parity": parity,
+        }
+
+
 def main() -> None:
     dataset, index = make_serving_index(
         dataset_name=DATASET, n=N_POINTS, n_queries=MAIN_SEARCHES, iops=None
@@ -256,6 +391,8 @@ def main() -> None:
         f"{extend_stats.seconds * 1e3:.1f} ms (epoch {extend_stats.epoch})"
     )
 
+    durability = bench_durability()
+
     payload = {
         "benchmark": "mutations",
         "dataset": DATASET,
@@ -270,6 +407,7 @@ def main() -> None:
             for row in rows
         ],
         "extend_merge_ms": round(extend_stats.seconds * 1e3, 3),
+        "durability": durability,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
@@ -277,6 +415,9 @@ def main() -> None:
 
 if __name__ == "__main__":
     if "--smoke" in sys.argv[1:]:
-        smoke()
+        if "--faults" in sys.argv[1:]:
+            smoke_faults()
+        else:
+            smoke()
     else:
         main()

@@ -79,6 +79,31 @@ class BrePartitionConfig:
         task sleeps out its charged pages' latency, which parallel
         workers overlap like real independent disks.  ``None`` (default)
         keeps I/O free, matching the rest of the simulated stack.
+    io_max_retries:
+        Extra attempts a storage charge gets after a
+        :class:`~repro.exceptions.TransientIOError` (fault injection),
+        with capped exponential backoff (``io_backoff_ms`` doubling up
+        to ``io_backoff_cap_ms``).  ``0`` (default) fails fast.  Retried
+        charges never double-count: the query scope's dedup set admits
+        each page once however many attempts it takes.
+    shard_failure:
+        What ``search_batch`` does when a shard stays down after
+        retries: ``"raise"`` (default) propagates the
+        :class:`~repro.exceptions.ShardUnavailableError`; ``"partial"``
+        fails only the queries whose candidate pages live on the dead
+        shard (their slot in ``BatchSearchResult.results`` is ``None``
+        and the error rides in ``BatchSearchResult.failures``) while
+        the rest of the batch still returns exact results.
+    wal_path:
+        When set, :meth:`BrePartitionIndex.build` opens a write-ahead
+        log at this path and every insert/delete appends a checksummed
+        record *before* acknowledging; ``BrePartitionIndex.recover``
+        replays it after a crash.  ``None`` (default) keeps the delta
+        buffer memory-only.
+    wal_fsync:
+        ``True`` fsyncs every WAL append (real-device durability);
+        ``False`` (default) flushes to the OS only, which the simulated
+        crash tests exercise without paying device latency.
     """
 
     n_partitions: Optional[int] = None
@@ -94,6 +119,12 @@ class BrePartitionConfig:
     refine_kernel: str = "auto"
     sparse_density_threshold: float = 0.3
     simulated_io_iops: Optional[float] = None
+    io_max_retries: int = 0
+    io_backoff_ms: float = 1.0
+    io_backoff_cap_ms: float = 50.0
+    shard_failure: str = "raise"
+    wal_path: Optional[str] = None
+    wal_fsync: bool = False
 
     def __post_init__(self) -> None:
         if self.n_partitions is not None and self.n_partitions < 1:
@@ -124,6 +155,15 @@ class BrePartitionConfig:
         if self.simulated_io_iops is not None and self.simulated_io_iops <= 0:
             raise InvalidParameterError(
                 "simulated_io_iops must be positive (or None to disable)"
+            )
+        if self.io_max_retries < 0:
+            raise InvalidParameterError("io_max_retries must be >= 0")
+        if self.io_backoff_ms < 0 or self.io_backoff_cap_ms < 0:
+            raise InvalidParameterError("io backoff milliseconds must be >= 0")
+        if self.shard_failure not in ("raise", "partial"):
+            raise InvalidParameterError(
+                f"shard_failure must be 'raise' or 'partial', "
+                f"got {self.shard_failure!r}"
             )
 
     def make_strategy(self, rng) -> PartitionStrategy:

@@ -21,6 +21,7 @@ time lands in ``stats.stage_seconds``).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from typing import Optional
@@ -33,6 +34,7 @@ from ..exceptions import (
     InvalidParameterError,
     NotDecomposableError,
     NotFittedError,
+    WALError,
 )
 from ..exec.executor import ShardExecutor
 from ..partitioning.optimizer import (
@@ -46,9 +48,16 @@ from ..storage.buffer_pool import BufferPool
 from ..storage.datastore import DataStore
 from ..storage.io_stats import DiskAccessTracker, IOCostModel
 from ..storage.sharded import ShardedDataStore
+from ..storage.wal import OP_COMMIT, OP_INSERT, Checkpoint, WriteAheadLog
 from .config import BrePartitionConfig
 from .results import BatchQueryStats, BatchSearchResult, QueryStats, SearchResult
-from .snapshot import BaseState, DeltaBuffer, IndexSnapshot, MergeStats
+from .snapshot import (
+    BaseState,
+    DeltaBuffer,
+    IndexSnapshot,
+    MergeStats,
+    RecoveryStats,
+)
 from .transforms import SubspaceTransforms
 
 __all__ = ["BrePartitionIndex"]
@@ -112,6 +121,14 @@ class BrePartitionIndex:
         self._mutate_lock = threading.Lock()
         #: serialises whole merges/reshards against each other.
         self._merge_lock = threading.Lock()
+        #: write-ahead log (``config.wal_path``); ``None`` keeps the
+        #: delta buffer memory-only.
+        self._wal: Optional[WriteAheadLog] = None
+        #: populated by :meth:`recover` on the index it returns.
+        self.recovery_stats: Optional[RecoveryStats] = None
+        #: optional fault injector every datastore this index builds
+        #: (including merge/reshard rebuilds) is wired to.
+        self._fault_injector = None
         #: the staged Plan -> Fetch -> Refine -> Rerank engine both
         #: search drivers (and the serving layer) run.
         self.pipeline = SearchPipeline(self)
@@ -175,6 +192,11 @@ class BrePartitionIndex:
             self._delta = DeltaBuffer(d)
             self._next_id = n
             self.updates_applied = 0
+        if self.config.wal_path is not None:
+            # fresh log plus an immediate covers-0 checkpoint: recovery
+            # is self-contained from the first acknowledged op on
+            self.attach_wal(self.config.wal_path, fresh=True)
+            self._wal_checkpoint(0, self._base)
         self.construction_seconds = time.perf_counter() - start
         return self
 
@@ -197,7 +219,7 @@ class BrePartitionIndex:
     def _make_datastore(self, points: np.ndarray, forest: BBForest):
         """Lay the point file out on one disk or across config.n_shards."""
         if self.config.n_shards > 1:
-            return ShardedDataStore(
+            store = ShardedDataStore(
                 points,
                 self.config.n_shards,
                 layout_order=forest.layout_order,
@@ -206,13 +228,28 @@ class BrePartitionIndex:
                 tracker=self.tracker,
                 buffer_pool=self.buffer_pool,
             )
-        return DataStore(
-            points,
-            layout_order=forest.layout_order,
-            page_size_bytes=self.config.page_size_bytes,
-            tracker=self.tracker,
-            buffer_pool=self.buffer_pool,
-        )
+        else:
+            store = DataStore(
+                points,
+                layout_order=forest.layout_order,
+                page_size_bytes=self.config.page_size_bytes,
+                tracker=self.tracker,
+                buffer_pool=self.buffer_pool,
+            )
+        if self._fault_injector is not None:
+            store.attach_faults(self._fault_injector)
+        return store
+
+    def attach_fault_injector(self, injector) -> None:
+        """Wire a :class:`~repro.storage.faults.FaultInjector` into the
+        index's storage, now and across every future merge/reshard.
+
+        Attached at the index (not the datastore) so the injector
+        survives the datastore rebuilds merges and reshards publish.
+        """
+        self._fault_injector = injector
+        if self.datastore is not None:
+            self.datastore.attach_faults(injector)
 
     def reshard(self, n_shards: int) -> "BrePartitionIndex":
         """Re-lay the point file across ``n_shards`` simulated disks.
@@ -297,6 +334,11 @@ class BrePartitionIndex:
                     raise InvalidParameterError("point ids must be non-negative")
             if self._is_live_locked(pid):
                 raise InvalidParameterError(f"point id {pid} already present")
+            # write-ahead: the record must be on the log before the op
+            # becomes visible; if the append fails the op never applied
+            # and the caller never got an acknowledgement to rely on
+            if self._wal is not None:
+                self._wal.append_insert(pid, point, self.updates_applied + 1)
             self._delta.insert(point, pid)
             self._next_id = max(self._next_id, pid + 1)
             self.updates_applied += 1
@@ -314,6 +356,8 @@ class BrePartitionIndex:
         with self._mutate_lock:
             if not self._is_live_locked(pid):
                 raise InvalidParameterError(f"point id {pid} is not a live point")
+            if self._wal is not None:
+                self._wal.append_delete(pid, self.updates_applied + 1)
             self._delta.delete(pid)
             self.updates_applied += 1
 
@@ -360,6 +404,10 @@ class BrePartitionIndex:
             with self._mutate_lock:
                 old_base = self._base
                 cut = self._delta.view()
+                # global op number of the cut -- what the WAL commit
+                # record and checkpoint cover (captured under the same
+                # lock as the cut, so they name the same prefix)
+                cut_global = self.updates_applied
             if cut.version == 0:
                 return MergeStats(
                     epoch=old_base.epoch,
@@ -380,6 +428,9 @@ class BrePartitionIndex:
             with self._mutate_lock:
                 self._delta = self._delta.rebase(cut.version)
                 self._publish(new_base)
+            wal_truncated = 0
+            if self._wal is not None:
+                wal_truncated = self._wal_commit(cut_global, new_base)
             seconds = time.perf_counter() - start
             drained = old_base.wait_drained(drain_timeout)
             return MergeStats(
@@ -390,6 +441,7 @@ class BrePartitionIndex:
                 n_frozen=new_base.n_frozen,
                 drained=drained,
                 seconds=seconds,
+                wal_records_truncated=wal_truncated,
             )
 
     def _merge_rebuild(self, base: BaseState, cut, dead_mask) -> BaseState:
@@ -469,6 +521,168 @@ class BrePartitionIndex:
             global_ids=gids,
             dead_rows=dead,
         )
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log + crash recovery)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, path: str, fresh: bool) -> WriteAheadLog:
+        """Open the write-ahead log every later mutation appends to."""
+        self._wal = WriteAheadLog(path, fresh=fresh, fsync=self.config.wal_fsync)
+        return self._wal
+
+    def _wal_commit(self, covers: int, base: BaseState) -> int:
+        """Merge epilogue on the log: commit record, checkpoint, compact.
+
+        Each step is individually crash-safe, in this order: a commit
+        record without its checkpoint is ignored at replay (the old
+        checkpoint still covers the right prefix), and a checkpoint
+        without compaction just skips the covered records by version.
+        Returns the number of records compaction dropped.
+        """
+        self._wal.append_commit(covers)
+        self._wal_checkpoint(covers, base)
+        return self._wal.compact(covers)
+
+    def _wal_checkpoint(self, covers: int, base: BaseState) -> None:
+        """Atomically checkpoint ``base``'s live rows, id-ascending."""
+        if base.dead_rows is not None:
+            live = np.flatnonzero(~base.dead_rows)
+        else:
+            live = np.arange(base.n_frozen)
+        gids = base.global_ids[live]
+        order = np.argsort(gids, kind="stable")
+        Checkpoint.save(
+            self._wal.path,
+            points=base.points[live][order],
+            global_ids=gids[order],
+            covers_version=covers,
+            epoch=base.epoch,
+            next_id=self._next_id,
+        )
+
+    def _replay_insert(self, pid: int, point: np.ndarray) -> None:
+        """Apply a replayed insert (no WAL append, no re-validation --
+        the record was validated when it was first acknowledged)."""
+        with self._mutate_lock:
+            if self._is_live_locked(pid):
+                raise WALError(f"WAL replays insert of live point id {pid}")
+            self._delta.insert(point, pid)
+            self._next_id = max(self._next_id, pid + 1)
+            self.updates_applied += 1
+
+    def _replay_delete(self, pid: int) -> None:
+        """Apply a replayed delete (no WAL append)."""
+        with self._mutate_lock:
+            if not self._is_live_locked(pid):
+                raise WALError(f"WAL replays delete of dead point id {pid}")
+            self._delta.delete(pid)
+            self.updates_applied += 1
+
+    @classmethod
+    def recover(
+        cls,
+        wal_path: str,
+        divergence: DecomposableBregmanDivergence,
+        config: BrePartitionConfig | None = None,
+        points: Optional[np.ndarray] = None,
+        tracker: DiskAccessTracker | None = None,
+        buffer_pool: BufferPool | None = None,
+    ) -> "BrePartitionIndex":
+        """Reopen a crashed WAL-enabled index to its acknowledged state.
+
+        The frozen base is rebuilt from the newest checkpoint sidecar
+        (``<wal_path>.ckpt``); every log record *newer* than the
+        checkpoint's coverage is replayed into the delta buffer, and a
+        torn tail -- the half-written record of a crash mid-append -- is
+        truncated (its op was never acknowledged).  The recovered index
+        then serves search results bitwise equal to an uninterrupted run
+        over the acknowledged prefix, and keeps appending to the same
+        log.  ``points`` is the original build input, needed only when
+        the log predates its first checkpoint (normally ``build`` writes
+        one immediately).  ``config`` must match the crashed index's
+        (it is not persisted); the recovery outcome lands in
+        :attr:`recovery_stats`.
+        """
+        scan = WriteAheadLog.scan(wal_path)
+        ckpt = Checkpoint.load(wal_path)
+        if ckpt is not None:
+            covers = ckpt["covers_version"]
+            base_points = ckpt["points"]
+            base_gids = ckpt["global_ids"]
+            base_epoch = ckpt["epoch"]
+            next_id = ckpt["next_id"]
+        else:
+            if points is None:
+                raise WALError(
+                    f"{wal_path!r} has no checkpoint sidecar; pass the "
+                    "original build points to recover"
+                )
+            covers = 0
+            base_points = np.atleast_2d(np.asarray(points, dtype=float))
+            base_gids = np.arange(base_points.shape[0])
+            base_epoch = 0
+            next_id = base_points.shape[0]
+
+        if config is None:
+            config = BrePartitionConfig(wal_path=wal_path)
+        # build with the WAL detached -- build(wal_path=...) would
+        # truncate the very log we are recovering from
+        index = cls(
+            divergence,
+            dataclasses.replace(config, wal_path=None),
+            tracker=tracker,
+            buffer_pool=buffer_pool,
+        )
+        index.build(base_points)
+        with index._mutate_lock:
+            base = index._base
+            if base_epoch != base.epoch or not np.array_equal(
+                base_gids, base.global_ids
+            ):
+                index._publish(
+                    BaseState(
+                        epoch=base_epoch,
+                        partitioning=base.partitioning,
+                        n_partitions=base.n_partitions,
+                        forest=base.forest,
+                        datastore=base.datastore,
+                        transforms=base.transforms,
+                        points=base.points,
+                        refine_conditioner=base.refine_conditioner,
+                        global_ids=base_gids,
+                    )
+                )
+            index._next_id = max(index._next_id, next_id)
+            index.updates_applied = covers
+
+        replayed_inserts = replayed_deletes = skipped = 0
+        for record in scan.records:
+            if record.op == OP_COMMIT or record.version <= covers:
+                skipped += int(record.op != OP_COMMIT)
+                continue
+            if record.op == OP_INSERT:
+                index._replay_insert(record.pid, record.point)
+                replayed_inserts += 1
+            else:
+                index._replay_delete(record.pid)
+                replayed_deletes += 1
+
+        # attach (not fresh): physically truncates the torn tail and
+        # resumes appending after the last acknowledged record
+        index.attach_wal(wal_path, fresh=False)
+        index.config.wal_path = wal_path
+        index.recovery_stats = RecoveryStats(
+            wal_path=wal_path,
+            used_checkpoint=ckpt is not None,
+            checkpoint_version=covers,
+            replayed_inserts=replayed_inserts,
+            replayed_deletes=replayed_deletes,
+            skipped_ops=skipped,
+            torn_bytes_dropped=scan.torn_bytes,
+            final_version=index.updates_applied,
+        )
+        return index
 
     # ------------------------------------------------------------------
     # search drivers (Algorithm 6 over the staged pipeline)
@@ -573,12 +787,18 @@ class BrePartitionIndex:
             elapsed = time.perf_counter() - start
             io = self.tracker.finish_scope(scope)
 
-        results: list[SearchResult] = []
+        failures = dict(ctx.query_errors)
+        results: list[Optional[SearchResult]] = []
         unshared_pages = 0
         total_candidates = 0
         total_delta = 0
         per_query_seconds = elapsed / n_queries if n_queries else 0.0
         for q in range(n_queries):
+            if q in failures:
+                # doomed by a permanently failed shard (partial mode):
+                # the slot stays aligned, the error rides in failures
+                results.append(None)
+                continue
             ids = ctx.candidates[q]
             top_ids, top_divergences = ctx.refined[q]
             solo_pages = snap.datastore.count_pages_of(ids)
@@ -616,8 +836,12 @@ class BrePartitionIndex:
             stage_seconds=dict(ctx.stage_seconds),
             cross_batch_hits=ctx.cross_batch_hits,
             delta_candidates=total_delta,
+            io_retries=ctx.io_retries,
+            n_failed_queries=len(failures),
         )
-        return BatchSearchResult(results=results, stats=batch_stats)
+        return BatchSearchResult(
+            results=results, stats=batch_stats, failures=failures
+        )
 
     # ------------------------------------------------------------------
     # stage delegates (benchmarks, kernel-parity tests, subclass hooks)
@@ -705,7 +929,13 @@ class BrePartitionIndex:
                 page_size_bytes=self.config.page_size_bytes,
                 iops=self.config.simulated_io_iops,
             )
-        return ShardExecutor(self.config.shard_workers, io_model=io_model)
+        return ShardExecutor(
+            self.config.shard_workers,
+            io_model=io_model,
+            max_retries=self.config.io_max_retries,
+            backoff_seconds=self.config.io_backoff_ms / 1000.0,
+            backoff_cap_seconds=self.config.io_backoff_cap_ms / 1000.0,
+        )
 
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:
         """Hook for the approximate extension; exact search returns as-is."""

@@ -116,6 +116,13 @@ class BatchQueryStats:
     #: total delta-buffer points scored across the batch (in memory,
     #: never charged I/O); 0 without mutations.
     delta_candidates: int = 0
+    #: transient I/O faults absorbed by retries during the fetch; 0
+    #: without fault injection.  Retried charges never inflate
+    #: ``pages_read`` -- the scope's dedup admits each page once.
+    io_retries: int = 0
+    #: queries that returned no result because their candidate pages
+    #: live on a permanently failed shard (``shard_failure="partial"``).
+    n_failed_queries: int = 0
 
     @property
     def pages_saved(self) -> int:
@@ -125,10 +132,20 @@ class BatchQueryStats:
 
 @dataclass
 class BatchSearchResult:
-    """Results of one batched search, one :class:`SearchResult` per query."""
+    """Results of one batched search, one :class:`SearchResult` per query.
 
-    results: List[SearchResult]
+    Under ``shard_failure="partial"`` a query doomed by a dead shard
+    occupies its slot with ``None`` and its error rides in
+    :attr:`failures` -- positions stay aligned with the query rows, so
+    callers resolving per-request futures can zip straight through.
+    """
+
+    results: List[Optional[SearchResult]]
     stats: BatchQueryStats
+    #: query index -> the shard failure that doomed it (empty when every
+    #: query succeeded, which is always the case under the default
+    #: ``shard_failure="raise"`` policy).
+    failures: Dict[int, BaseException] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -140,11 +157,11 @@ class BatchSearchResult:
         return self.results[index]
 
     @property
-    def ids(self) -> List[np.ndarray]:
-        """Per-query neighbour ids."""
-        return [result.ids for result in self.results]
+    def ids(self) -> List[Optional[np.ndarray]]:
+        """Per-query neighbour ids (``None`` for a failed query)."""
+        return [r.ids if r is not None else None for r in self.results]
 
     @property
-    def divergences(self) -> List[np.ndarray]:
-        """Per-query neighbour divergences."""
-        return [result.divergences for result in self.results]
+    def divergences(self) -> List[Optional[np.ndarray]]:
+        """Per-query neighbour divergences (``None`` for a failed query)."""
+        return [r.divergences if r is not None else None for r in self.results]

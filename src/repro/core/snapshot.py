@@ -42,6 +42,7 @@ __all__ = [
     "DeltaView",
     "IndexSnapshot",
     "MergeStats",
+    "RecoveryStats",
 ]
 
 
@@ -435,3 +436,35 @@ class MergeStats:
     drained: bool
     #: wall-clock seconds spent building and publishing the new base.
     seconds: float
+    #: WAL records dropped by post-merge compaction (0 without a WAL).
+    wal_records_truncated: int = 0
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Outcome of one :meth:`BrePartitionIndex.recover` call.
+
+    Recovery rebuilds the frozen base from the newest checkpoint (or
+    the caller-supplied points when the log predates checkpointing) and
+    replays every acknowledged WAL record past the checkpoint's cut into
+    a fresh delta buffer.  A torn tail -- the half-written record of a
+    crash mid-append -- is truncated, never replayed: the op it would
+    have logged was by construction never acknowledged.
+    """
+
+    #: path of the write-ahead log that was replayed.
+    wal_path: str
+    #: ``True`` when a checkpoint sidecar seeded the frozen base.
+    used_checkpoint: bool
+    #: global op version the checkpoint covers (0 without one).
+    checkpoint_version: int
+    #: insert records replayed into the delta buffer.
+    replayed_inserts: int
+    #: delete records replayed into the delta buffer.
+    replayed_deletes: int
+    #: records skipped because the checkpoint already covers them.
+    skipped_ops: int
+    #: bytes of torn tail truncated from the log.
+    torn_bytes_dropped: int
+    #: the recovered index's ``updates_applied`` after replay.
+    final_version: int

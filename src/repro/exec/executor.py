@@ -15,7 +15,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from ..exceptions import InvalidParameterError
+from ..exceptions import (
+    InvalidParameterError,
+    ShardUnavailableError,
+    TransientIOError,
+)
 from ..storage.io_stats import IOCostModel
 
 __all__ = ["ShardExecutor"]
@@ -37,15 +41,69 @@ class ShardExecutor:
         page reads, simulating independent disks whose waits overlap
         under parallel fan-out.  ``None`` (default) keeps I/O free, as
         everywhere else in the simulated-storage stack.
+    max_retries:
+        Extra attempts :meth:`call_with_retry` grants a task after a
+        :class:`~repro.exceptions.TransientIOError`.  ``0`` (default)
+        preserves the historical fail-fast behaviour.  Only transient
+        faults retry; a :class:`~repro.exceptions.ShardUnavailableError`
+        (broken shard) and every non-storage exception are permanent.
+    backoff_seconds / backoff_cap_seconds:
+        Capped exponential backoff between attempts:
+        ``min(cap, base * 2**attempt)``.
     """
 
     def __init__(
-        self, n_workers: int = 1, io_model: Optional[IOCostModel] = None
+        self,
+        n_workers: int = 1,
+        io_model: Optional[IOCostModel] = None,
+        max_retries: int = 0,
+        backoff_seconds: float = 0.001,
+        backoff_cap_seconds: float = 0.05,
     ) -> None:
         if n_workers < 1:
             raise InvalidParameterError(f"n_workers must be >= 1, got {n_workers}")
+        if max_retries < 0:
+            raise InvalidParameterError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_seconds < 0 or backoff_cap_seconds < 0:
+            raise InvalidParameterError("backoff seconds must be >= 0")
         self.n_workers = int(n_workers)
         self.io_model = io_model
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.backoff_cap_seconds = float(backoff_cap_seconds)
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (0-based): capped exponential."""
+        return min(self.backoff_cap_seconds, self.backoff_seconds * (2.0 ** attempt))
+
+    def call_with_retry(self, fn: Callable[[], Any], on_retry=None) -> Any:
+        """Run ``fn``, retrying transient I/O faults with backoff.
+
+        Storage charges are idempotent at the accounting layer -- a
+        partially-charged attempt's pages sit in the query scope's
+        dedup set, so the retry re-charges only what the fault
+        interrupted and ``pages_read`` never double-counts.
+        ``on_retry`` (e.g. ``scope.count_retry``) is called once per
+        retry.  When the budget is exhausted the last transient fault
+        is re-raised wrapped as a permanent
+        :class:`~repro.exceptions.ShardUnavailableError`.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except TransientIOError as err:
+                if attempt >= self.max_retries:
+                    raise ShardUnavailableError(
+                        f"transient I/O faults persisted through "
+                        f"{self.max_retries + 1} attempts: {err}"
+                    ) from err
+                if on_retry is not None:
+                    on_retry()
+                delay = self.backoff_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
 
     def io_wait(self, pages: int) -> None:
         """Sleep out the modeled read latency for ``pages`` pages.
@@ -88,6 +146,42 @@ class ShardExecutor:
             for future in futures:
                 future.result()
         return results, seconds
+
+    def run_guarded(
+        self, tasks: Sequence[Callable[[], Any]], on_retry=None
+    ) -> Tuple[List[Any], List[float], List[Optional[BaseException]], List[int]]:
+        """Like :meth:`run`, but each task retries transient faults and
+        captures a permanent storage failure instead of raising.
+
+        Returns ``(results, seconds, errors, retries)``, all in task
+        order: a failed task's result slot is ``None`` and its error a
+        :class:`~repro.exceptions.ShardUnavailableError` (either raised
+        by a broken shard or wrapping an exhausted transient fault).
+        Non-storage exceptions still propagate -- they are bugs, not
+        device behaviour.  This is the degraded-mode primitive the Fetch
+        stage uses: one dead shard fails its own slab only, and the
+        caller decides which queries that dooms.
+        """
+        errors: List[Optional[BaseException]] = [None] * len(tasks)
+        retries = [0] * len(tasks)
+
+        def guard(index: int) -> Callable[[], Any]:
+            def bump() -> None:
+                retries[index] += 1  # one writer per slot: thread-safe
+                if on_retry is not None:
+                    on_retry()
+
+            def guarded():
+                try:
+                    return self.call_with_retry(tasks[index], on_retry=bump)
+                except ShardUnavailableError as err:
+                    errors[index] = err
+                    return None
+
+            return guarded
+
+        results, seconds = self.run([guard(i) for i in range(len(tasks))])
+        return results, seconds, errors, retries
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         model = f", io_model={self.io_model!r}" if self.io_model is not None else ""

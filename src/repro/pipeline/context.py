@@ -81,6 +81,14 @@ class QueryBatchContext:
     #: pages served from the buffer pool that an *earlier* batch or
     #: query paid for (``None`` without a pool).
     cross_batch_hits: Optional[int] = None
+    #: transient-fault retries the fetch absorbed (0 without faults).
+    io_retries: int = 0
+    #: shard index -> permanent failure, for shards still down after
+    #: retries (``shard_failure="partial"`` only; empty otherwise).
+    shard_errors: Dict[int, BaseException] = field(default_factory=dict)
+    #: query index -> error for queries doomed by a failed shard; the
+    #: later stages skip these rows and ``refined[q]`` stays ``None``.
+    query_errors: Dict[int, BaseException] = field(default_factory=dict)
 
     # -- Refine outputs -------------------------------------------------
     #: kernel the dispatcher ran ("dense"/"sparse"; ``None`` when the

@@ -64,7 +64,11 @@ class FetchStage(PipelineStage):
             if ctx.scope is not None:
                 ctx.scope.pool_epoch = epoch
         if ctx.single:
-            ctx.vectors = store.fetch(ctx.candidates[0], scope=ctx.scope)
+            executor = self.index._make_executor()
+            ctx.vectors = executor.call_with_retry(
+                lambda: store.fetch(ctx.candidates[0], scope=ctx.scope),
+                on_retry=self._retry_counter(ctx),
+            )
         elif isinstance(store, ShardedDataStore):
             self._fetch_fanout(ctx, store)
         else:
@@ -78,11 +82,26 @@ class FetchStage(PipelineStage):
     # batch fetch, one simulated disk
     # ------------------------------------------------------------------
 
+    def _retry_counter(self, ctx: QueryBatchContext):
+        """Per-retry callback: count on the context and its scope."""
+
+        def bump() -> None:
+            ctx.io_retries += 1
+            if ctx.scope is not None:
+                ctx.scope.count_retry()
+
+        return bump
+
     def _fetch_single_disk(self, ctx: QueryBatchContext, store) -> None:
         index = self.index
         ctx.union, ctx.row_of = union_rows(ctx.candidates, store.n_points)
-        ctx.pages_coalesced, charged = store.charge_pages_detailed(
-            ctx.candidates, scope=ctx.scope
+        executor = index._make_executor()
+        # retried charges cannot double-count: the scope's dedup set
+        # keeps every page a prior attempt managed to charge, so a retry
+        # re-bills only the pages the fault interrupted
+        ctx.pages_coalesced, charged = executor.call_with_retry(
+            lambda: store.charge_pages_detailed(ctx.candidates, scope=ctx.scope),
+            on_retry=self._retry_counter(ctx),
         )
         if index.config.simulated_io_iops is not None and charged > 0:
             # latency is modeled only on pages that hit the simulated
@@ -138,10 +157,46 @@ class FetchStage(PipelineStage):
 
             return task
 
-        pages, seconds = executor.run([make_task(s) for s in range(store.n_shards)])
+        pages, seconds, errors, retries = executor.run_guarded(
+            [make_task(s) for s in range(store.n_shards)]
+        )
+        n_retries = int(sum(retries))
+        if n_retries:
+            ctx.io_retries += n_retries
+            if ctx.scope is not None:
+                ctx.scope.count_retry(n_retries)
+        failed = {s: err for s, err in enumerate(errors) if err is not None}
+        if failed:
+            if index.config.shard_failure != "partial":
+                raise next(iter(failed.values()))
+            self._degrade(ctx, store, splits, vectors, failed)
         ctx.vectors = vectors
-        ctx.pages_coalesced = int(sum(pages))
+        ctx.pages_coalesced = int(sum(p for p in pages if p is not None))
         # per-shard split from this batch's own task results, not the
         # store's shared last_charge_per_shard (racy across batches)
-        ctx.pages_per_shard = [int(p) for p in pages]
+        ctx.pages_per_shard = [int(p) if p is not None else 0 for p in pages]
         ctx.shard_seconds = seconds
+
+    def _degrade(self, ctx, store, splits, vectors, failed) -> None:
+        """Partial mode: a dead shard dooms only the queries whose
+        candidates live on it; the rest of the batch stays exact.
+
+        The dead shard's union rows never arrived, so they are filled
+        with 0.5 -- inside the domain of every supported divergence --
+        purely to keep the dense refinement kernel finite; no surviving
+        query reads those scores, because a query touching a failed
+        shard is excluded from the result set entirely.
+        """
+        ctx.shard_errors = dict(failed)
+        for s in failed:
+            positions, _ = splits[s]
+            if positions.size:
+                vectors[positions] = 0.5
+        down = np.zeros(store.n_shards, dtype=bool)
+        down[list(failed)] = True
+        for q, ids in enumerate(ctx.candidates):
+            if ids.size == 0:
+                continue
+            hit = np.flatnonzero(down[store.shard_of[ids]])
+            if hit.size:
+                ctx.query_errors[q] = failed[int(store.shard_of[ids[hit[0]]])]

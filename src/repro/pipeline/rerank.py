@@ -76,6 +76,11 @@ class RerankStage(PipelineStage):
             frozen_pairs = []
             vectors, row_of = ctx.vectors, ctx.row_of
             for q, ids in enumerate(ctx.candidates):
+                if q in ctx.query_errors:
+                    # doomed by a dead shard: its union rows hold filler,
+                    # never score them
+                    frozen_pairs.append(None)
+                    continue
                 if ids.size == 0:
                     frozen_pairs.append(empty)
                     continue
@@ -90,9 +95,13 @@ class RerankStage(PipelineStage):
                     self.topk(ids, scores, ctx.queries[q], ctx.k, gather)
                 )
         ctx.refined = [
-            self._merge_delta(pair, ctx.queries[q], ctx.k, snap)
+            None
+            if pair is None
+            else self._merge_delta(pair, ctx.queries[q], ctx.k, snap)
             for q, pair in enumerate(frozen_pairs)
         ]
+        for q in ctx.query_errors:
+            ctx.delta_candidates[q] = 0
 
     def _frozen_topk_single(self, ctx: QueryBatchContext, snap):
         """The single path's frozen-side top-k pair."""

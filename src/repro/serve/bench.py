@@ -43,13 +43,16 @@ def make_serving_index(
     n_shards: int = 1,
     shard_workers: int = 1,
     iops: Optional[float] = 4000.0,
+    **config_overrides,
 ):
     """Build a dataset + index pair configured for serving benchmarks.
 
     Small pages give each query a page working set worth coalescing, and
     ``iops`` turns every charged page into modeled device latency (the
     quantity micro-batching amortizes).  ``iops=None`` keeps I/O free
-    for pure-CPU runs (the smoke mode).
+    for pure-CPU runs (the smoke mode).  Extra keyword arguments land on
+    the :class:`~repro.core.config.BrePartitionConfig` verbatim (retry
+    budgets, ``shard_failure`` policy, ``wal_path``, ...).
     """
     dataset = load_dataset(dataset_name, n=n, n_queries=n_queries, seed=seed)
     index = BrePartitionIndex(
@@ -62,6 +65,7 @@ def make_serving_index(
             n_shards=n_shards,
             shard_workers=shard_workers,
             simulated_io_iops=iops,
+            **config_overrides,
         ),
     ).build(dataset.points)
     return dataset, index

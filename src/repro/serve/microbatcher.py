@@ -50,7 +50,12 @@ from typing import Deque, Optional
 import numpy as np
 
 from ..core.results import BatchQueryStats, SearchResult
-from ..exceptions import InvalidParameterError, ServerOverloadedError
+from ..exceptions import (
+    DeadlineExceededError,
+    InvalidParameterError,
+    ServerOverloadedError,
+    ShardUnavailableError,
+)
 
 __all__ = ["MicroBatchConfig", "MicroBatcher", "ServeStats"]
 
@@ -93,6 +98,27 @@ class MicroBatchConfig:
         never merges automatically.  The merge runs on its own worker
         thread -- in-flight and new searches keep serving from their
         pinned snapshots throughout.
+    merge_max_retries:
+        Times a failed background merge is retried (with exponential
+        ``merge_backoff_ms`` backoff) before its error is surfaced.
+        ``0`` (default) keeps the historical fail-once behaviour.  Once
+        retries are exhausted the error is raised on the *next*
+        :meth:`MicroBatcher.insert` / ``delete`` call (and by
+        :meth:`MicroBatcher.close` if no mutation ever surfaced it) --
+        a failed merge loses no data, the delta just stays unmerged.
+    merge_backoff_ms:
+        Base delay before a merge retry, doubling per attempt.
+    admission_timeout_ms:
+        Bounds how long an ``overflow="wait"`` request may wait at the
+        admission door before failing with
+        :class:`~repro.exceptions.ServerOverloadedError`.  ``None``
+        (default) waits indefinitely (pure backpressure).
+    request_timeout_ms:
+        Per-request deadline from submission: a request that has not
+        resolved in time fails with
+        :class:`~repro.exceptions.DeadlineExceededError` (and, if still
+        queued, frees its queue slot).  ``None`` (default) disables
+        deadlines.
     """
 
     max_batch_size: int = 32
@@ -101,6 +127,10 @@ class MicroBatchConfig:
     max_queue_depth: Optional[int] = None
     overflow: str = "wait"
     merge_threshold: Optional[int] = None
+    merge_max_retries: int = 0
+    merge_backoff_ms: float = 50.0
+    admission_timeout_ms: Optional[float] = None
+    request_timeout_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -127,6 +157,24 @@ class MicroBatchConfig:
         if self.merge_threshold is not None and self.merge_threshold < 1:
             raise InvalidParameterError(
                 f"merge_threshold must be >= 1 or None, got {self.merge_threshold}"
+            )
+        if self.merge_max_retries < 0:
+            raise InvalidParameterError(
+                f"merge_max_retries must be >= 0, got {self.merge_max_retries}"
+            )
+        if self.merge_backoff_ms < 0:
+            raise InvalidParameterError(
+                f"merge_backoff_ms must be >= 0, got {self.merge_backoff_ms}"
+            )
+        if self.admission_timeout_ms is not None and self.admission_timeout_ms < 0:
+            raise InvalidParameterError(
+                f"admission_timeout_ms must be >= 0 or None, "
+                f"got {self.admission_timeout_ms}"
+            )
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise InvalidParameterError(
+                f"request_timeout_ms must be > 0 or None, "
+                f"got {self.request_timeout_ms}"
             )
 
 
@@ -175,6 +223,17 @@ class ServeStats:
     n_deletes: int = 0
     #: background merges completed successfully.
     n_merges: int = 0
+    #: failed background merges retried (``merge_max_retries``).
+    n_merge_retries: int = 0
+    #: background merges that failed permanently (retries exhausted).
+    n_merge_failures: int = 0
+    #: requests failed by their per-request deadline
+    #: (``request_timeout_ms``).
+    n_deadline_expired: int = 0
+    #: waiting requests failed at the admission door by
+    #: ``admission_timeout_ms`` (distinct from ``n_rejected``, the
+    #: ``overflow="reject"`` fast fails).
+    n_admission_timeouts: int = 0
     #: effective sizes of the most recent dispatches, in dispatch order.
     batch_sizes: Deque[int] = field(
         default_factory=lambda: deque(maxlen=_BATCH_SIZE_HISTORY)
@@ -231,11 +290,23 @@ class MicroBatcher:
         max_queue_depth: Optional[int] = None,
         overflow: Optional[str] = None,
         merge_threshold: Optional[int] = None,
+        merge_max_retries: Optional[int] = None,
+        merge_backoff_ms: Optional[float] = None,
+        admission_timeout_ms: Optional[float] = None,
+        request_timeout_ms: Optional[float] = None,
     ) -> None:
         config = config if config is not None else MicroBatchConfig()
         overrides = {}
         if merge_threshold is not None:
             overrides["merge_threshold"] = merge_threshold
+        if merge_max_retries is not None:
+            overrides["merge_max_retries"] = merge_max_retries
+        if merge_backoff_ms is not None:
+            overrides["merge_backoff_ms"] = merge_backoff_ms
+        if admission_timeout_ms is not None:
+            overrides["admission_timeout_ms"] = admission_timeout_ms
+        if request_timeout_ms is not None:
+            overrides["request_timeout_ms"] = request_timeout_ms
         if max_batch_size is not None:
             overrides["max_batch_size"] = max_batch_size
         if max_wait_ms is not None:
@@ -275,8 +346,14 @@ class MicroBatcher:
         # has no merge support or merge_threshold stays None)
         self._merge_executor: Optional[ThreadPoolExecutor] = None
         self._merge_task = None
-        #: terminal error of a failed background merge; re-raised by
-        #: :meth:`close` so a silent merge failure cannot be lost.
+        #: pending retry of a failed merge (config.merge_max_retries).
+        self._merge_retry_handle: Optional[asyncio.TimerHandle] = None
+        self._merge_attempts = 0
+        self._last_merge_error: Optional[BaseException] = None
+        #: terminal error of a permanently failed background merge;
+        #: raised on the next mutation (then cleared) or, if never
+        #: surfaced that way, re-raised by :meth:`close` so a silent
+        #: merge failure cannot be lost.
         self.merge_error: Optional[BaseException] = None
 
     # ------------------------------------------------------------------
@@ -318,7 +395,37 @@ class MicroBatcher:
             self._timer = loop.call_later(
                 self.config.max_wait_ms / 1000.0, self._flush
             )
-        return await future
+        deadline: Optional[asyncio.TimerHandle] = None
+        if self.config.request_timeout_ms is not None:
+            deadline = loop.call_later(
+                self.config.request_timeout_ms / 1000.0, self._expire, future
+            )
+        try:
+            return await future
+        finally:
+            if deadline is not None:
+                deadline.cancel()
+
+    def _expire(self, future: asyncio.Future) -> None:
+        """Fail a request that missed its ``request_timeout_ms`` deadline.
+
+        A still-queued request is pulled out of the batch (freeing its
+        admission slot); one already dispatched just has its future
+        failed -- the batch result for it is discarded on arrival.
+        """
+        if future.done():
+            return
+        for i, (_, pending) in enumerate(self._pending):
+            if pending is future:
+                del self._pending[i]
+                self._wake_admission_waiters()
+                break
+        self.stats.n_deadline_expired += 1
+        future.set_exception(
+            DeadlineExceededError(
+                f"request missed its {self.config.request_timeout_ms}ms deadline"
+            )
+        )
 
     def _check_dimension(self, query: np.ndarray) -> None:
         """Reject a query whose shape cannot join the current batch.
@@ -361,6 +468,19 @@ class MicroBatcher:
             )
         waiter: asyncio.Future = loop.create_future()
         self._admission_waiters.append(waiter)
+        timed_out = False
+        timeout_handle: Optional[asyncio.TimerHandle] = None
+        if self.config.admission_timeout_ms is not None:
+
+            def _timeout() -> None:
+                nonlocal timed_out
+                if not waiter.done():
+                    timed_out = True
+                    waiter.cancel()
+
+            timeout_handle = loop.call_later(
+                self.config.admission_timeout_ms / 1000.0, _timeout
+            )
         try:
             await waiter
         except BaseException:
@@ -375,7 +495,16 @@ class MicroBatcher:
                     self._admission_waiters.remove(waiter)
                 except ValueError:
                     pass
+            if timed_out:
+                self.stats.n_admission_timeouts += 1
+                raise ServerOverloadedError(
+                    f"request waited {self.config.admission_timeout_ms}ms at "
+                    f"the admission door without a queue slot freeing"
+                ) from None
             raise
+        finally:
+            if timeout_handle is not None:
+                timeout_handle.cancel()
         # granted: the slot is reserved for us until the caller appends
         # (which happens synchronously after _admit returns)
         self._reserved -= 1
@@ -420,6 +549,7 @@ class MicroBatcher:
         """
         if self._closed:
             raise InvalidParameterError("MicroBatcher is closed")
+        self._raise_pending_merge_error()
         pid = self.index.insert(point, point_id)
         self.stats.n_inserts += 1
         self._maybe_merge(asyncio.get_running_loop())
@@ -429,9 +559,23 @@ class MicroBatcher:
         """Delete one live point (tombstoned until the next merge)."""
         if self._closed:
             raise InvalidParameterError("MicroBatcher is closed")
+        self._raise_pending_merge_error()
         self.index.delete(point_id)
         self.stats.n_deletes += 1
         self._maybe_merge(asyncio.get_running_loop())
+
+    def _raise_pending_merge_error(self) -> None:
+        """Surface a permanently failed background merge to the caller.
+
+        Raised once, on the first mutation after exhaustion, then
+        cleared -- the failure has been delivered, so :meth:`close`
+        will not raise it a second time.  A failed merge loses nothing:
+        the delta ops stay pending (and WAL-logged when one is
+        attached); the next threshold crossing tries again.
+        """
+        if self.merge_error is not None:
+            error, self.merge_error = self.merge_error, None
+            raise error
 
     def _maybe_merge(self, loop) -> None:
         """Kick a background merge when the delta has grown enough.
@@ -441,11 +585,20 @@ class MicroBatcher:
         publication keeps concurrent searches consistent throughout.
         """
         threshold = self.config.merge_threshold
-        if threshold is None or self._merge_task is not None:
+        if (
+            threshold is None
+            or self._merge_task is not None
+            or self._merge_retry_handle is not None
+        ):
             return
         delta_ops = getattr(self.index, "delta_ops", 0)
         if delta_ops < threshold:
             return
+        self._merge_attempts = 0
+        self._spawn_merge(loop)
+
+    def _spawn_merge(self, loop) -> None:
+        """Run one merge attempt on the (lazily built) merge worker."""
         if self._merge_executor is None:
             self._merge_executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-merge"
@@ -455,13 +608,42 @@ class MicroBatcher:
         task.add_done_callback(self._merge_done)
 
     def _merge_done(self, task) -> None:
-        """Record the background merge's outcome and clear the slot."""
+        """Record the background merge's outcome and clear the slot.
+
+        A failure within the retry budget schedules another attempt
+        after exponential backoff (``merge_backoff_ms * 2**attempt``);
+        exhaustion parks the error in :attr:`merge_error` for the next
+        mutation (or :meth:`close`) to surface.  Runs on the event-loop
+        thread (done callbacks of ``run_in_executor`` futures do), so
+        the timer scheduling below is race-free.
+        """
         self._merge_task = None
         error = task.exception() if not task.cancelled() else None
-        if error is not None:
-            self.merge_error = error
-        else:
+        if error is None:
+            self._merge_attempts = 0
+            self._last_merge_error = None
             self.stats.n_merges += 1
+            return
+        self._last_merge_error = error
+        if not self._closed and self._merge_attempts < self.config.merge_max_retries:
+            delay = (self.config.merge_backoff_ms / 1000.0) * (
+                2.0 ** self._merge_attempts
+            )
+            self._merge_attempts += 1
+            self.stats.n_merge_retries += 1
+            loop = asyncio.get_running_loop()
+            self._merge_retry_handle = loop.call_later(delay, self._retry_merge)
+            return
+        self.stats.n_merge_failures += 1
+        self._merge_attempts = 0
+        self.merge_error = error
+
+    def _retry_merge(self) -> None:
+        """Timer callback: launch the next merge attempt."""
+        self._merge_retry_handle = None
+        if self._closed:
+            return
+        self._spawn_merge(asyncio.get_running_loop())
 
     async def close(self) -> None:
         """Flush the queue, await in-flight batches, stop the workers."""
@@ -474,6 +656,13 @@ class MicroBatcher:
         merge_task = self._merge_task
         if merge_task is not None:
             await asyncio.gather(merge_task, return_exceptions=True)
+        if self._merge_retry_handle is not None:
+            # a retry was still scheduled: the merge never succeeded, so
+            # its last error must not vanish with the abandoned retry
+            self._merge_retry_handle.cancel()
+            self._merge_retry_handle = None
+            if self.merge_error is None:
+                self.merge_error = self._last_merge_error
         self._executor.shutdown(wait=True)
         if self._merge_executor is not None:
             self._merge_executor.shutdown(wait=True)
@@ -547,13 +736,23 @@ class MicroBatcher:
         batch = task.result()
         self.stats.batch_stats.append(batch.stats)
         self.stats.total_pages_read += batch.stats.pages_read
-        for future, result in zip(futures, batch.results):
-            if not future.done():
-                future.set_result(result)
-            else:
+        failures = getattr(batch, "failures", None) or {}
+        for i, (future, result) in enumerate(zip(futures, batch.results)):
+            if future.done():
                 # the client cancelled (or abandoned) while the batch
                 # was in flight; the work was still dispatched and done
                 self.stats.n_cancelled += 1
+            elif result is None:
+                # shard_failure="partial": only the queries whose
+                # candidate pages live on the dead shard fail; the rest
+                # of the batch resolves normally below
+                future.set_exception(
+                    failures.get(i)
+                    or ShardUnavailableError("query lost to a failed shard")
+                )
+                self.stats.n_failed += 1
+            else:
+                future.set_result(result)
 
     def _dimensionality(self) -> Optional[int]:
         """Expected query dimensionality, when the index exposes one."""

@@ -6,16 +6,27 @@ This package replaces the paper's physical SSD testbed.  The paper's
 deduplication, which is what makes the shared BB-forest layout and PCCP
 pay off), and :class:`DataStore` provides the clustered page-addressed
 point file that BB-tree leaves reference by address.
+
+Durability and fault tolerance live here too: :class:`WriteAheadLog` /
+:class:`Checkpoint` give the update path its crash-recovery contract,
+and :class:`FaultInjector` turns the simulated disks unreliable on
+demand (transient read faults, stalls, permanent outages) for the
+retry/degradation machinery and the chaos tests.
 """
 
 from .buffer_pool import BufferPool
 from .datastore import Address, DataStore
+from .faults import FaultInjector, FaultPlan
 from .io_stats import DiskAccessTracker, IOCostModel, QueryIOSnapshot, QueryScope
 from .sharded import ShardTracker, ShardedDataStore
+from .wal import Checkpoint, WALRecord, WalScan, WriteAheadLog
 
 __all__ = [
     "Address",
+    "Checkpoint",
     "DataStore",
+    "FaultInjector",
+    "FaultPlan",
     "ShardedDataStore",
     "ShardTracker",
     "BufferPool",
@@ -23,4 +34,7 @@ __all__ = [
     "IOCostModel",
     "QueryIOSnapshot",
     "QueryScope",
+    "WALRecord",
+    "WalScan",
+    "WriteAheadLog",
 ]

@@ -93,6 +93,10 @@ class DataStore:
         self.dimensionality = d
         self.tracker = tracker if tracker is not None else DiskAccessTracker()
         self.buffer_pool = buffer_pool
+        #: optional :class:`~repro.storage.faults.FaultInjector` and the
+        #: shard id its plans key on (0 for an unsharded store).
+        self.fault = None
+        self.shard_id = 0
 
         # Physical image: row i of _storage is the i-th point on disk.
         self._storage = points[layout_order]
@@ -142,6 +146,8 @@ class DataStore:
         back to the tracker's ambient scope).
         """
         ids = np.asarray(point_ids, dtype=int)
+        if self.fault is not None:
+            self.fault.before_access(self.shard_id)
         for page in self.pages_of(ids):
             self._charge(int(page), scope)
         return self._storage[self._position[ids]]
@@ -177,6 +183,8 @@ class DataStore:
         rather than read off tracker totals so concurrent in-flight
         batches never bill each other's pages.
         """
+        if self.fault is not None:
+            self.fault.before_access(self.shard_id)
         touched = np.zeros(self.n_pages, dtype=bool)
         for ids in id_groups:
             touched[self._pages[np.asarray(ids, dtype=int)]] = True
@@ -192,6 +200,8 @@ class DataStore:
 
         Charges every page once and returns points in *logical* id order.
         """
+        if self.fault is not None:
+            self.fault.before_access(self.shard_id)
         for page in range(self.n_pages):
             self._charge(page, scope)
         return self._storage[self._position]
@@ -234,10 +244,27 @@ class DataStore:
             buffer_pool=self.buffer_pool,
         )
         store.fileno = self.fileno
+        store.fault = self.fault
+        store.shard_id = self.shard_id
         return store
+
+    def attach_faults(self, injector, shard_id: int = 0) -> None:
+        """Install a :class:`~repro.storage.faults.FaultInjector` whose
+        plans for ``shard_id`` govern this store's simulated disk."""
+        self.fault = injector
+        self.shard_id = int(shard_id)
 
     def _charge(self, page: int, scope: Optional[QueryScope] = None) -> bool:
         """Charge one page; ``True`` when it actually hit the disk."""
+        if self.fault is not None and self.fault.may_fault_pages(self.shard_id):
+            # transient faults model the physical read: only pages the
+            # scope has not already charged can fail (a page the scope
+            # holds is served from cache), which is also what lets the
+            # retry loop converge -- every attempt's surviving prefix
+            # shrinks the remaining fault surface
+            already = scope if scope is not None else self.tracker._active
+            if already is None or not already.has_read(self.fileno, page):
+                self.fault.before_page(self.shard_id)
         if self.buffer_pool is not None and self.buffer_pool.access(
             self.fileno, page, scope=scope
         ):

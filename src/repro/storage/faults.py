@@ -1,0 +1,203 @@
+"""Deterministic I/O fault injection for the simulated-disk stack.
+
+The simulated disks have never failed, so nothing above them -- shard
+fan-out, serving, accounting -- had a failure story to test.  A
+:class:`FaultInjector` attaches to a :class:`~repro.storage.datastore.DataStore`
+(or every shard of a :class:`~repro.storage.sharded.ShardedDataStore`)
+and, per shard, can:
+
+* raise :class:`~repro.exceptions.TransientIOError` on individual page
+  reads with a seeded probability and/or a bounded fault budget
+  (``max_faults``), so retries make progress deterministically;
+* stall a shard's charge calls by ``stall_seconds`` (deadline tests);
+* mark a shard ``broken`` -- every access raises
+  :class:`~repro.exceptions.ShardUnavailableError` until the plan is
+  cleared (the permanent-failure / graceful-degradation path).
+
+Transient faults fire only on pages the querying scope has not already
+charged: a page already admitted models data the OS cache holds, which
+a flaky device cannot fail.  This is also what makes retries converge
+-- each attempt's surviving prefix shrinks the fault surface -- and
+what the no-double-count accounting tests lean on: however many
+attempts a charge takes, the scope's dedup set admits each page once.
+
+Determinism: one seeded generator, all draws under one lock.  A
+single-threaded caller replays identically for a seed; under thread
+fan-out the draw *order* depends on scheduling but the fault *budget*
+and per-page probabilities do not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import (
+    InvalidParameterError,
+    ShardUnavailableError,
+    TransientIOError,
+)
+
+__all__ = ["FaultInjector", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What one shard's simulated disk does wrong."""
+
+    #: per-page probability of a transient read fault.
+    probability: float = 0.0
+    #: total transient faults this plan may raise (``None`` = unbounded).
+    max_faults: Optional[int] = None
+    #: seconds every charge call on the shard sleeps before proceeding.
+    stall_seconds: float = 0.0
+    #: permanently unreachable: every access raises ``ShardUnavailableError``.
+    broken: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise InvalidParameterError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_faults is not None and self.max_faults < 0:
+            raise InvalidParameterError("max_faults must be >= 0 (or None)")
+        if self.stall_seconds < 0.0:
+            raise InvalidParameterError("stall_seconds must be >= 0")
+
+    @property
+    def idle(self) -> bool:
+        """Plan that can never do anything."""
+        return (
+            not self.broken
+            and self.stall_seconds == 0.0
+            and (self.probability == 0.0 or self.max_faults == 0)
+        )
+
+
+class FaultInjector:
+    """Seeded, per-shard fault schedule shared by a store's shards.
+
+    One injector may serve many stores (the index re-attaches it to the
+    datastore each merge publishes); all counters are lifetime.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._plans: Dict[int, FaultPlan] = {}
+        self._default = FaultPlan()
+        self._lock = threading.Lock()
+        #: transient faults raised so far (lifetime, all shards).
+        self.n_injected = 0
+        #: transient faults raised per shard.
+        self.injected_per_shard: Dict[int, int] = {}
+        #: charge calls stalled so far.
+        self.n_stalls = 0
+
+    # ------------------------------------------------------------------
+    # schedule management
+    # ------------------------------------------------------------------
+
+    def set_plan(self, shard: Optional[int] = None, **kwargs) -> FaultPlan:
+        """Install a :class:`FaultPlan` for one shard (or the default
+        plan for every shard without its own).  Returns the plan."""
+        plan = FaultPlan(**kwargs)
+        with self._lock:
+            if shard is None:
+                self._default = plan
+            else:
+                self._plans[int(shard)] = plan
+        return plan
+
+    def clear(self) -> None:
+        """Drop every plan (faults stop; counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+            self._default = FaultPlan()
+
+    def plan_for(self, shard: int) -> FaultPlan:
+        """The plan governing a shard."""
+        with self._lock:
+            return self._plans.get(int(shard), self._default)
+
+    # ------------------------------------------------------------------
+    # injection points (called by DataStore)
+    # ------------------------------------------------------------------
+
+    def may_fault_pages(self, shard: int) -> bool:
+        """Cheap pre-check: could :meth:`before_page` ever fire here?
+
+        Lets the store skip the per-page scope lookup entirely on the
+        (overwhelmingly common) fault-free path.
+        """
+        plan = self.plan_for(shard)
+        if plan.probability <= 0.0:
+            return False
+        if plan.max_faults is None:
+            return True
+        with self._lock:
+            return self.injected_per_shard.get(int(shard), 0) < plan.max_faults
+
+    def before_access(self, shard: int) -> None:
+        """Per-call hook: stall and/or refuse a broken shard."""
+        plan = self.plan_for(shard)
+        if plan.stall_seconds > 0.0:
+            with self._lock:
+                self.n_stalls += 1
+            time.sleep(plan.stall_seconds)
+        if plan.broken:
+            raise ShardUnavailableError(
+                f"shard {shard} is offline (injected permanent fault)"
+            )
+
+    def before_page(self, shard: int) -> None:
+        """Per-page hook: transiently fail a read that would hit the disk."""
+        plan = self.plan_for(shard)
+        if plan.probability <= 0.0:
+            return
+        shard = int(shard)
+        with self._lock:
+            if (
+                plan.max_faults is not None
+                and self.injected_per_shard.get(shard, 0) >= plan.max_faults
+            ):
+                return
+            if self._rng.random() >= plan.probability:
+                return
+            self.n_injected += 1
+            self.injected_per_shard[shard] = (
+                self.injected_per_shard.get(shard, 0) + 1
+            )
+        raise TransientIOError(
+            f"transient read fault on shard {shard} (injected)"
+        )
+
+    # ------------------------------------------------------------------
+    # WAL corruption (crash-simulation helper)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def corrupt_tail(path: str, n_bytes: int = 4) -> int:
+        """Flip the last ``n_bytes`` of a file (simulating a torn or
+        bit-rotted WAL tail).  Returns how many bytes were flipped."""
+        with open(path, "r+b") as fh:
+            fh.seek(0, 2)
+            size = fh.tell()
+            n = min(int(n_bytes), size)
+            if n <= 0:
+                return 0
+            fh.seek(size - n)
+            tail = fh.read(n)
+            fh.seek(size - n)
+            fh.write(bytes(b ^ 0xFF for b in tail))
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"FaultInjector(plans={len(self._plans)}, "
+                f"injected={self.n_injected}, stalls={self.n_stalls})"
+            )

@@ -62,6 +62,7 @@ class QueryScope:
         "writes",
         "pool_epoch",
         "cross_batch_hits",
+        "io_retries",
         "pinned",
         "_pages",
         "_lock",
@@ -78,6 +79,12 @@ class QueryScope:
         #: pool hits on pages an earlier (or concurrent other) scope
         #: paid for -- incremented by the pool under its own lock.
         self.cross_batch_hits = 0
+        #: transient-fault retries this scope's charges absorbed (see
+        #: :meth:`count_retry`).  Retried charges never re-enter
+        #: ``reads``: the dedup set admits each ``(fileno, page)`` once,
+        #: however many attempts it took -- the accounting-under-faults
+        #: exactness contract.
+        self.io_retries = 0
         #: index snapshot pinned for this scope's lifetime (see
         #: :meth:`pin`); released exactly once by :meth:`finish`.
         self.pinned = None
@@ -98,6 +105,18 @@ class QueryScope:
             self._pages.add(key)
             self.reads += 1
             return True
+
+    def has_read(self, fileno: int, page: int) -> bool:
+        """Has this scope already charged a page?  (Read-only peek at
+        the dedup set; the fault injector skips pages the scope holds
+        -- the OS cache serves them, so a flaky disk cannot fail them.)"""
+        with self._lock:
+            return (fileno, page) in self._pages
+
+    def count_retry(self, n: int = 1) -> None:
+        """Record ``n`` transient-fault retries against this scope."""
+        with self._lock:
+            self.io_retries += n
 
     def pin(self, snapshot) -> None:
         """Pin an index snapshot (anything with ``pin``/``unpin``) to

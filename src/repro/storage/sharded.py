@@ -168,6 +168,15 @@ class ShardedDataStore:
                 )
             )
 
+        self.fault = None
+
+    def attach_faults(self, injector) -> None:
+        """Install a :class:`~repro.storage.faults.FaultInjector`: shard
+        ``s``'s store faults according to the injector's plan for ``s``."""
+        self.fault = injector
+        for s, store in enumerate(self.shards):
+            store.attach_faults(injector, shard_id=s)
+
     # ------------------------------------------------------------------
     # addressing
     # ------------------------------------------------------------------
@@ -391,6 +400,8 @@ class ShardedDataStore:
         for s in range(self.n_shards):
             store.shards[s].fileno = self.shards[s].fileno
             store.shards[s].tracker = self.shard_trackers[s]
+        if self.fault is not None:
+            store.attach_faults(self.fault)
         return store
 
     # ------------------------------------------------------------------
