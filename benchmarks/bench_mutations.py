@@ -335,10 +335,25 @@ def bench_durability() -> dict:
             )
         assert parity, "recovered index diverged from the crashed one"
         stats = recovered.recovery_stats
+
+        # group commit: N writer threads fsync-appending concurrently,
+        # per-append flush vs. one shared flush per commit window
+        group = _bench_group_commit(Path(tmp), pool)
+
         print(
             f"  durability: WAL insert {wal_insert_us:.1f} us/op, recovery "
             f"{recover_ms:.1f} ms ({stats.replayed_inserts} inserts + "
             f"{stats.replayed_deletes} deletes replayed), parity OK"
+        )
+        print(
+            f"  group commit ({group['n_appends']} fsync appends, "
+            f"{group['n_writers']} writers): per-append "
+            f"{group['per_append']['wall_ms']:.1f} ms / "
+            f"{group['per_append']['n_flushes']} flushes vs. "
+            f"{group['group_commit_ms']}ms window "
+            f"{group['grouped']['wall_ms']:.1f} ms / "
+            f"{group['grouped']['n_flushes']} flushes "
+            f"({group['grouped']['n_group_followers']} followers shared one)"
         )
         return {
             "wal_insert_us": round(wal_insert_us, 3),
@@ -346,7 +361,64 @@ def bench_durability() -> dict:
             "replayed_inserts": stats.replayed_inserts,
             "replayed_deletes": stats.replayed_deletes,
             "recovered_parity": parity,
+            "group_commit": group,
         }
+
+
+def _bench_group_commit(tmp: Path, pool: np.ndarray) -> dict:
+    """Time concurrent fsync appends with and without a commit window.
+
+    Each arm runs the same workload -- ``n_writers`` threads appending
+    one insert record per point from ``pool`` -- against a fresh
+    fsync-enabled log.  Without ``group_commit_ms`` every append pays
+    its own flush+fsync; with it, appends landing inside one window
+    share the leader's single flush, so ``n_flushes`` collapses and
+    followers only wait.  Both logs must replay to the same record
+    count (durability is never traded away).
+    """
+    from repro.storage import WriteAheadLog
+
+    n_writers = 8
+    window_ms = 2.0
+    arms = {}
+    for label, window in (("per_append", None), ("grouped", window_ms)):
+        path = str(tmp / f"group-{label}.wal")
+        wal = WriteAheadLog(
+            path, fresh=True, fsync=True, group_commit_ms=window
+        )
+        chunks = np.array_split(np.arange(pool.shape[0]), n_writers)
+        barrier = threading.Barrier(n_writers)
+
+        def writer(rows: np.ndarray) -> None:
+            barrier.wait()
+            for row in rows:
+                wal.append_insert(int(row), pool[row], version=int(row) + 1)
+
+        threads = [
+            threading.Thread(target=writer, args=(rows,)) for rows in chunks
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_ms = (time.perf_counter() - start) * 1e3
+        wal.close()
+        scan = WriteAheadLog.scan(path)
+        assert len(scan.records) == pool.shape[0]
+        assert scan.torn_bytes == 0
+        arms[label] = {
+            "wall_ms": round(wall_ms, 3),
+            "n_flushes": wal.n_flushes,
+            "n_group_followers": wal.n_group_followers,
+        }
+    assert arms["grouped"]["n_flushes"] < arms["per_append"]["n_flushes"]
+    return {
+        "n_appends": int(pool.shape[0]),
+        "n_writers": n_writers,
+        "group_commit_ms": window_ms,
+        **arms,
+    }
 
 
 def main() -> None:

@@ -39,6 +39,13 @@ rejects exactly the over-limit burst in fast-fail mode and serves
 everything in wait mode) -- no wall-clock claims, so it cannot flake on
 loaded CI runners.  Under pytest, the parity checks run by default and
 the throughput assertions are ``slow``-marked.
+
+ISSUE 8 adds the **chaos arm** (``--chaos``): serve through an R=2
+replicated store while a simulated disk is killed *mid-run* by a
+scheduled ``fail_after_n_calls`` fault, assert every response stays
+bitwise identical to the fault-free twin with exact page accounting
+(failover re-charges dedup in the same scope), then heal the disk and
+serve again.  Parity and accounting only -- no timing claims.
 """
 
 from __future__ import annotations
@@ -324,6 +331,119 @@ def smoke() -> None:
     )
 
 
+def chaos_smoke() -> None:
+    """Seconds-scale chaos pass: replicated serving through a mid-run
+    disk kill, parity + accounting only (no timing claims).
+
+    An R=2 store serves 32 clients while disk 0 dies after a scheduled
+    number of charge calls (``fail_after_n_calls``); the dead disk's
+    breaker opens (``breaker_threshold=1``), every response must equal
+    the fault-free twin bitwise, and the lifetime page totals must
+    match the twin exactly -- failed-over re-charges dedup in the same
+    query scope.  The disk is then healed and serving re-checked.
+    """
+    import asyncio
+
+    from repro.serve import MicroBatcher
+    from repro.storage import FaultInjector
+
+    N_SHARDS, REPLICAS = 4, 2
+    dataset, clean = make_serving_index(
+        dataset_name=DATASET,
+        n=400,
+        n_queries=32,
+        iops=None,
+        n_shards=N_SHARDS,
+        replication_factor=REPLICAS,
+    )
+    _, chaotic = make_serving_index(
+        dataset_name=DATASET,
+        n=400,
+        n_queries=32,
+        iops=None,
+        n_shards=N_SHARDS,
+        replication_factor=REPLICAS,
+        breaker_threshold=1,
+        breaker_reset_s=0.05,
+    )
+    injector = FaultInjector(seed=0)
+    chaotic.attach_fault_injector(injector)
+    queries = dataset.queries
+
+    # deterministic accounting wave: the same four batch chunks on both
+    # indexes; disk 0 is allowed two more charge calls, so it dies
+    # mid-run -- between the second and third chunk
+    injector.set_plan(shard=0, fail_after_n_calls=2)
+    n_failovers = 0
+    pages_chaotic = pages_clean = 0
+    for start in range(0, len(queries), 8):
+        chunk = queries[start : start + 8]
+        want = clean.search_batch(chunk, K)
+        got = chaotic.search_batch(chunk, K)
+        for expected, served in zip(want.results, got.results):
+            np.testing.assert_array_equal(expected.ids, served.ids)
+            np.testing.assert_array_equal(
+                expected.divergences, served.divergences
+            )
+        assert got.failures == {}
+        assert got.stats.pages_read == want.stats.pages_read
+        assert got.stats.pages_read_per_shard == want.stats.pages_read_per_shard
+        n_failovers += got.stats.n_failovers
+        pages_chaotic += got.stats.pages_read
+        pages_clean += want.stats.pages_read
+    assert n_failovers > 0  # the kill actually re-routed reads
+    assert chaotic.tracker.total_pages_read == clean.tracker.total_pages_read
+    assert chaotic.shard_health.n_breaker_opens >= 1
+    store = chaotic.datastore
+    assert sum(store.shard_pages_read) == store.tracker.total_pages_read
+    assert [sum(row) for row in store.replica_pages_read] == (
+        store.shard_pages_read
+    )
+
+    # serving wave: the asyncio front-end rides the same failover while
+    # the disk stays dead, bitwise equal to direct fault-free search
+    reference = [clean.search(query, K) for query in queries]
+
+    async def serve():
+        async with MicroBatcher(chaotic, K, max_batch_size=8) as batcher:
+            results = await asyncio.gather(
+                *(batcher.search(query) for query in queries)
+            )
+            return results, batcher.stats
+
+    results, stats = asyncio.run(serve())
+    for expected, served in zip(reference, results):
+        np.testing.assert_array_equal(expected.ids, served.ids)
+        np.testing.assert_array_equal(expected.divergences, served.divergences)
+    assert stats.n_failed == 0
+    assert stats.n_breaker_opens >= 1
+    # the opened breaker is surfaced, and routing steered around the
+    # dead disk without ever marking a served request as failed
+    assert stats.shard_health is not None
+    assert stats.shard_health[0]["state"] != "closed"
+
+    # heal and serve again: still exact, mirrors still sum exactly
+    injector.heal(0)
+    results, stats = asyncio.run(serve())
+    for expected, served in zip(reference, results):
+        np.testing.assert_array_equal(expected.ids, served.ids)
+        np.testing.assert_array_equal(expected.divergences, served.divergences)
+    assert stats.n_failed == 0
+    assert sum(store.shard_pages_read) == store.tracker.total_pages_read
+    assert [sum(row) for row in store.replica_pages_read] == (
+        store.shard_pages_read
+    )
+
+    print(
+        f"chaos OK: {len(queries)} batch + {2 * len(queries)} served "
+        f"responses bitwise-identical to the fault-free twin across a "
+        f"mid-run disk kill on an R={REPLICAS} store ({n_failovers} batch "
+        f"failovers, {chaotic.shard_health.n_breaker_opens} breaker "
+        f"open(s)); page accounting exact "
+        f"({pages_chaotic} pages, twin {pages_clean})"
+    )
+
+
 def main() -> None:
     dataset, index = make_serving_index(dataset_name=DATASET, n=N_POINTS, iops=IOPS)
     queries = dataset.queries
@@ -415,7 +535,12 @@ def main() -> None:
 
 
 if __name__ == "__main__":
+    ran_fast_mode = False
     if "--smoke" in sys.argv[1:]:
         smoke()
-    else:
+        ran_fast_mode = True
+    if "--chaos" in sys.argv[1:]:
+        chaos_smoke()
+        ran_fast_mode = True
+    if not ran_fast_mode:
         main()

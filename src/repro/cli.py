@@ -80,6 +80,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "(requires --shards and --batch; results are identical)",
     )
     search.add_argument(
+        "--replication-factor",
+        type=int,
+        default=None,
+        metavar="R",
+        help="keep R copies of every shard's pages on distinct simulated "
+        "disks (requires --shards; failover keeps results exact with any "
+        "R-1 replicas of each shard dead)",
+    )
+    search.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="race a replica fetch still outstanding after MS milliseconds "
+        "against the shard's next live replica (requires --replication-factor)",
+    )
+    search.add_argument(
         "--refine-kernel",
         choices=("auto", "dense", "sparse"),
         default=None,
@@ -131,6 +148,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=1, help="simulated disks")
     serve.add_argument(
         "--shard-workers", type=int, default=1, help="fan-out threads per batch"
+    )
+    serve.add_argument(
+        "--replication-factor", type=int, default=1, metavar="R",
+        help="copies of every shard's pages on distinct disks "
+        "(failover keeps serving exact through dead replicas)",
+    )
+    serve.add_argument(
+        "--hedge-after-ms", type=float, default=None, metavar="MS",
+        help="hedge replica fetches slower than MS milliseconds "
+        "(requires --replication-factor > 1)",
     )
     serve.add_argument("--seed", type=int, default=0)
     return parser
@@ -192,6 +219,18 @@ def _cmd_search(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.replication_factor is not None and args.replication_factor < 1:
+        print(
+            f"--replication-factor must be >= 1, got {args.replication_factor}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.hedge_after_ms is not None and args.hedge_after_ms <= 0:
+        print(
+            f"--hedge-after-ms must be positive, got {args.hedge_after_ms}",
+            file=sys.stderr,
+        )
+        return 2
     dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
     print(f"dataset: {dataset!r} ({dataset.description})")
     index = _make_index(args, dataset)
@@ -209,6 +248,23 @@ def _cmd_search(args) -> int:
     if args.shard_workers is not None and args.shards is None:
         print("--shard-workers needs a sharded store; ignoring (pass --shards)")
         args.shard_workers = None
+    if args.replication_factor is not None and args.shards is None:
+        print("--replication-factor needs a sharded store; ignoring (pass --shards)")
+        args.replication_factor = None
+    if args.replication_factor is not None and args.replication_factor > args.shards:
+        print(
+            f"--replication-factor {args.replication_factor} exceeds "
+            f"--shards {args.shards}; clamping to {args.shards}"
+        )
+        args.replication_factor = args.shards
+    if args.hedge_after_ms is not None and (
+        args.replication_factor is None or args.replication_factor < 2
+    ):
+        print(
+            "--hedge-after-ms needs replicas to race; ignoring "
+            "(pass --replication-factor >= 2)"
+        )
+        args.hedge_after_ms = None
     if args.shard_workers is not None and args.batch is None:
         print("--shard-workers only affects batched fan-out; ignoring (pass --batch)")
         args.shard_workers = None
@@ -235,6 +291,8 @@ def _cmd_search(args) -> int:
         shards=args.shards,
         shard_workers=args.shard_workers,
         refine_kernel=args.refine_kernel,
+        replication_factor=args.replication_factor,
+        hedge_after_ms=args.hedge_after_ms,
     )
     print(format_table(WorkloadResult.headers(), [result.row()]))
     if args.batch is not None:
@@ -253,9 +311,13 @@ def _cmd_search(args) -> int:
     if args.shards is not None:
         fanout = result.extras.get("shard_pages_read")
         workers = args.shard_workers if args.shard_workers is not None else 1
+        replicas = (
+            args.replication_factor if args.replication_factor is not None else 1
+        )
         print(
             f"sharded storage: S={args.shards} simulated disks, "
             f"{workers} fan-out worker(s)"
+            + (f", R={replicas} replicas/shard" if replicas > 1 else "")
             + (f", page fan-out {fanout}" if fanout is not None else "")
         )
     kernel = result.extras.get("refine_kernel")
@@ -282,12 +344,26 @@ def _cmd_serve_bench(args) -> int:
         ("--concurrent-batches", args.concurrent_batches, 1),
         ("--shards", args.shards, 1),
         ("--shard-workers", args.shard_workers, 1),
+        ("--replication-factor", args.replication_factor, 1),
     ):
         if value < floor:
             print(f"{name} must be >= {floor}, got {value}", file=sys.stderr)
             return 2
     if args.max_wait_ms < 0.0:
         print(f"--max-wait-ms must be >= 0, got {args.max_wait_ms}", file=sys.stderr)
+        return 2
+    if args.replication_factor > args.shards:
+        print(
+            f"--replication-factor {args.replication_factor} exceeds "
+            f"--shards {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.hedge_after_ms is not None and args.hedge_after_ms <= 0:
+        print(
+            f"--hedge-after-ms must be positive, got {args.hedge_after_ms}",
+            file=sys.stderr,
+        )
         return 2
     if args.queue_depth is not None and args.queue_depth < 1:
         print(
@@ -301,6 +377,8 @@ def _cmd_serve_bench(args) -> int:
         n_shards=args.shards,
         shard_workers=args.shard_workers,
         iops=args.iops if args.iops > 0 else None,
+        replication_factor=args.replication_factor,
+        hedge_after_ms=args.hedge_after_ms,
     )
     print(f"dataset: {dataset!r} ({dataset.description})")
     print(

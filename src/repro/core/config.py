@@ -104,6 +104,38 @@ class BrePartitionConfig:
         ``True`` fsyncs every WAL append (real-device durability);
         ``False`` (default) flushes to the OS only, which the simulated
         crash tests exercise without paying device latency.
+    wal_group_commit_ms:
+        When set, WAL appends within this window share one flush/fsync
+        (group commit): the first appender leads the group, waits out
+        the window, then makes every gathered record durable with a
+        single flush before any of them acknowledges.  Amortises the
+        fsync cost under concurrent mutators at the price of up to one
+        window of acknowledge latency.  ``None`` (default) flushes
+        every append individually.
+    replication_factor:
+        Copies of every shard's pages, each on a distinct simulated
+        disk (rotating placement; see
+        :class:`~repro.storage.sharded.ShardedDataStore`).  With ``R >
+        1`` the fetch fan-out fails over to a live replica when a disk
+        is broken or its circuit breaker is open, so serving stays
+        bitwise exact with any ``R - 1`` replicas of each shard dead.
+        ``1`` (default) keeps the unreplicated layout; must not exceed
+        ``n_shards``.
+    breaker_threshold:
+        Consecutive permanent failures that open a disk's circuit
+        breaker (:class:`~repro.exec.ShardHealthRegistry`).  An open
+        breaker is skipped by failover routing instead of re-attempted
+        -- fail fast onto a live replica.
+    breaker_reset_s:
+        Seconds an open breaker waits before reporting half-open, at
+        which point the next attempt is the probe that closes it
+        (success) or re-opens it (failure).
+    hedge_after_ms:
+        When set (and ``replication_factor > 1``), a replica fetch
+        still outstanding after this many milliseconds is raced against
+        the shard's next live replica and the first result wins (the
+        tail-tolerant hedged read).  Results are bitwise identical
+        either way; ``None`` (default) never hedges.
     """
 
     n_partitions: Optional[int] = None
@@ -125,6 +157,11 @@ class BrePartitionConfig:
     shard_failure: str = "raise"
     wal_path: Optional[str] = None
     wal_fsync: bool = False
+    wal_group_commit_ms: Optional[float] = None
+    replication_factor: int = 1
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 0.25
+    hedge_after_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_partitions is not None and self.n_partitions < 1:
@@ -164,6 +201,23 @@ class BrePartitionConfig:
             raise InvalidParameterError(
                 f"shard_failure must be 'raise' or 'partial', "
                 f"got {self.shard_failure!r}"
+            )
+        if self.wal_group_commit_ms is not None and self.wal_group_commit_ms < 0:
+            raise InvalidParameterError(
+                "wal_group_commit_ms must be >= 0 (or None to disable)"
+            )
+        if not 1 <= self.replication_factor <= self.n_shards:
+            raise InvalidParameterError(
+                f"replication_factor must be in [1, n_shards="
+                f"{self.n_shards}], got {self.replication_factor}"
+            )
+        if self.breaker_threshold < 1:
+            raise InvalidParameterError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise InvalidParameterError("breaker_reset_s must be >= 0")
+        if self.hedge_after_ms is not None and self.hedge_after_ms <= 0:
+            raise InvalidParameterError(
+                "hedge_after_ms must be positive (or None to disable)"
             )
 
     def make_strategy(self, rng) -> PartitionStrategy:

@@ -36,7 +36,7 @@ from ..exceptions import (
     NotFittedError,
     WALError,
 )
-from ..exec.executor import ShardExecutor
+from ..exec.executor import ShardExecutor, ShardHealthRegistry
 from ..partitioning.optimizer import (
     CostModelParams,
     calibrate_cost_model,
@@ -129,6 +129,13 @@ class BrePartitionIndex:
         #: optional fault injector every datastore this index builds
         #: (including merge/reshard rebuilds) is wired to.
         self._fault_injector = None
+        #: per-disk health and circuit breakers, shared by every
+        #: short-lived fetch executor so breaker state persists across
+        #: searches (and across merge/reshard datastore rebuilds).
+        self.shard_health = ShardHealthRegistry(
+            failure_threshold=self.config.breaker_threshold,
+            reset_seconds=self.config.breaker_reset_s,
+        )
         #: the staged Plan -> Fetch -> Refine -> Rerank engine both
         #: search drivers (and the serving layer) run.
         self.pipeline = SearchPipeline(self)
@@ -227,6 +234,7 @@ class BrePartitionIndex:
                 page_size_bytes=self.config.page_size_bytes,
                 tracker=self.tracker,
                 buffer_pool=self.buffer_pool,
+                replication_factor=self.config.replication_factor,
             )
         else:
             store = DataStore(
@@ -251,7 +259,9 @@ class BrePartitionIndex:
         if self.datastore is not None:
             self.datastore.attach_faults(injector)
 
-    def reshard(self, n_shards: int) -> "BrePartitionIndex":
+    def reshard(
+        self, n_shards: int, replication_factor: Optional[int] = None
+    ) -> "BrePartitionIndex":
         """Re-lay the point file across ``n_shards`` simulated disks.
 
         Only the datastore is rebuilt -- the forest, transforms and leaf
@@ -260,13 +270,22 @@ class BrePartitionIndex:
         live, not what the index returns); ``config.n_shards`` is
         updated so later rebuilds keep the setting.  Publishes a new
         epoch: searches in flight keep reading the datastore they
-        pinned, new searches see the new layout.
+        pinned, new searches see the new layout.  ``replication_factor``
+        additionally re-lays each shard's pages onto that many distinct
+        disks (``None`` keeps the configured value).
         """
         self._require_built()
         if n_shards < 1:
             raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if replication_factor is not None and not 1 <= replication_factor <= n_shards:
+            raise InvalidParameterError(
+                f"replication_factor must be in [1, n_shards={n_shards}], "
+                f"got {replication_factor}"
+            )
         with self._merge_lock:
             self.config.n_shards = int(n_shards)
+            if replication_factor is not None:
+                self.config.replication_factor = int(replication_factor)
             base = self._base
             datastore = self._make_datastore(base.points, base.forest)
             with self._mutate_lock:
@@ -528,7 +547,12 @@ class BrePartitionIndex:
 
     def attach_wal(self, path: str, fresh: bool) -> WriteAheadLog:
         """Open the write-ahead log every later mutation appends to."""
-        self._wal = WriteAheadLog(path, fresh=fresh, fsync=self.config.wal_fsync)
+        self._wal = WriteAheadLog(
+            path,
+            fresh=fresh,
+            fsync=self.config.wal_fsync,
+            group_commit_ms=self.config.wal_group_commit_ms,
+        )
         return self._wal
 
     def _wal_commit(self, covers: int, base: BaseState) -> int:
@@ -838,6 +862,8 @@ class BrePartitionIndex:
             delta_candidates=total_delta,
             io_retries=ctx.io_retries,
             n_failed_queries=len(failures),
+            n_failovers=ctx.n_failovers,
+            n_hedged=ctx.n_hedged,
         )
         return BatchSearchResult(
             results=results, stats=batch_stats, failures=failures
@@ -929,12 +955,15 @@ class BrePartitionIndex:
                 page_size_bytes=self.config.page_size_bytes,
                 iops=self.config.simulated_io_iops,
             )
+        hedge = self.config.hedge_after_ms
         return ShardExecutor(
             self.config.shard_workers,
             io_model=io_model,
             max_retries=self.config.io_max_retries,
             backoff_seconds=self.config.io_backoff_ms / 1000.0,
             backoff_cap_seconds=self.config.io_backoff_cap_ms / 1000.0,
+            health=self.shard_health,
+            hedge_after_seconds=hedge / 1000.0 if hedge is not None else None,
         )
 
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:

@@ -123,6 +123,15 @@ class BatchQueryStats:
     #: queries that returned no result because their candidate pages
     #: live on a permanently failed shard (``shard_failure="partial"``).
     n_failed_queries: int = 0
+    #: replicas passed over (broken disk or open breaker) before a live
+    #: replica served the slice; 0 without replication faults.  A
+    #: failed-over slice re-charges against the same query scope, so it
+    #: never inflates ``pages_read``.
+    n_failovers: int = 0
+    #: hedged reads launched (slow replica fetches raced against a
+    #: second replica; ``hedge_after_ms``).  Results are bitwise
+    #: identical whichever leg wins.
+    n_hedged: int = 0
 
     @property
     def pages_saved(self) -> int:

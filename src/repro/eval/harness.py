@@ -108,6 +108,8 @@ def run_workload(
     shards: int | None = None,
     shard_workers: int | None = None,
     refine_kernel: str | None = None,
+    replication_factor: int | None = None,
+    hedge_after_ms: float | None = None,
 ) -> WorkloadResult:
     """Run the dataset's query workload and aggregate metrics.
 
@@ -135,15 +137,34 @@ def run_workload(
     a :class:`~repro.core.config.BrePartitionConfig`; neither changes
     results, only how they are computed, and batch runs record the
     kernel actually used in ``extras["refine_kernel"]``.
+
+    ``replication_factor`` re-lays every shard's pages on that many
+    distinct disks (requires ``shards``), and ``hedge_after_ms`` races
+    slow replica fetches against a second replica; neither changes
+    results either.
     """
+    if replication_factor is not None and shards is None:
+        raise InvalidParameterError(
+            "replication_factor requires shards (a sharded point file)"
+        )
     if shards is not None:
         if not hasattr(index, "reshard"):
             raise InvalidParameterError(
                 f"index {type(index).__name__} does not support sharding "
                 "(no reshard method)"
             )
-        index.reshard(shards)
+        index.reshard(shards, replication_factor=replication_factor)
     config = getattr(index, "config", None)
+    if hedge_after_ms is not None:
+        if config is None or not hasattr(config, "hedge_after_ms"):
+            raise InvalidParameterError(
+                f"index {type(index).__name__} has no hedged-read support"
+            )
+        if hedge_after_ms <= 0:
+            raise InvalidParameterError(
+                f"hedge_after_ms must be positive, got {hedge_after_ms}"
+            )
+        config.hedge_after_ms = float(hedge_after_ms)
     if shard_workers is not None:
         if config is None or not hasattr(config, "shard_workers"):
             raise InvalidParameterError(

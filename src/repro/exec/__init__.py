@@ -39,8 +39,15 @@ Determinism: tasks write to disjoint output slices and every kernel is
 row/pair-bitwise independent, so results are bit-for-bit identical for
 any worker count -- the single/batch parity contract survives
 parallelism untouched.
+
+Replication-aware routing (PR 8): on a store with
+``replication_factor > 1`` each fan-out task routes through
+:meth:`ShardExecutor.call_with_failover` -- health-ordered replicas,
+per-disk circuit breakers (:class:`ShardHealthRegistry`), failover on
+permanent failure and optional hedged reads -- keeping results bitwise
+identical with any ``R - 1`` replicas of each shard dead.
 """
 
-from .executor import ShardExecutor
+from .executor import ShardExecutor, ShardHealthRegistry
 
-__all__ = ["ShardExecutor"]
+__all__ = ["ShardExecutor", "ShardHealthRegistry"]

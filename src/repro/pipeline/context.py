@@ -83,6 +83,12 @@ class QueryBatchContext:
     cross_batch_hits: Optional[int] = None
     #: transient-fault retries the fetch absorbed (0 without faults).
     io_retries: int = 0
+    #: replicas passed over (open breaker or permanent failure) before
+    #: a live replica served the slice (0 without replication faults).
+    n_failovers: int = 0
+    #: hedged reads launched: slow replica fetches raced against a
+    #: second replica (0 unless ``hedge_after_ms`` is configured).
+    n_hedged: int = 0
     #: shard index -> permanent failure, for shards still down after
     #: retries (``shard_failure="partial"`` only; empty otherwise).
     shard_errors: Dict[int, BaseException] = field(default_factory=dict)

@@ -64,11 +64,17 @@ class FetchStage(PipelineStage):
             if ctx.scope is not None:
                 ctx.scope.pool_epoch = epoch
         if ctx.single:
-            executor = self.index._make_executor()
-            ctx.vectors = executor.call_with_retry(
-                lambda: store.fetch(ctx.candidates[0], scope=ctx.scope),
-                on_retry=self._retry_counter(ctx),
-            )
+            if (
+                isinstance(store, ShardedDataStore)
+                and store.replication_factor > 1
+            ):
+                self._fetch_single_replicated(ctx, store)
+            else:
+                executor = self.index._make_executor()
+                ctx.vectors = executor.call_with_retry(
+                    lambda: store.fetch(ctx.candidates[0], scope=ctx.scope),
+                    on_retry=self._retry_counter(ctx),
+                )
         elif isinstance(store, ShardedDataStore):
             self._fetch_fanout(ctx, store)
         else:
@@ -118,6 +124,56 @@ class FetchStage(PipelineStage):
         ctx.vectors = store.peek(ctx.union)
 
     # ------------------------------------------------------------------
+    # single fetch, replicated store
+    # ------------------------------------------------------------------
+
+    def _fetch_single_replicated(
+        self, ctx: QueryBatchContext, store: ShardedDataStore
+    ) -> None:
+        """Single-query fetch surviving dead replicas.
+
+        Reproduces ``store.fetch`` bit for bit -- the same per-shard
+        charges in the same order, then one ``peek`` -- but routes each
+        shard's charge through :meth:`ShardExecutor.call_with_failover`,
+        so a broken replica fails over instead of failing the search.
+        Only used when ``replication_factor > 1``; the unreplicated
+        single path keeps its historical ``store.fetch`` call.
+        """
+        index = self.index
+        executor = index._make_executor()
+        ids = np.asarray(ctx.candidates[0], dtype=int)
+        bump_retry = self._retry_counter(ctx)
+
+        def bump_failover() -> None:
+            ctx.n_failovers += 1
+
+        def bump_hedge() -> None:
+            ctx.n_hedged += 1
+
+        for s, (positions, local) in enumerate(store.shard_split(ids)):
+            if positions.size == 0:
+                continue
+
+            def charge(r: int, s: int = s, local=local):
+                def fn():
+                    return store.charge_shard_replica_detailed(
+                        s, r, [local], scope=ctx.scope
+                    )
+
+                return fn
+
+            executor.call_with_failover(
+                [
+                    (store.replica_disk(s, r), charge(r))
+                    for r in range(store.replication_factor)
+                ],
+                on_retry=bump_retry,
+                on_failover=bump_failover,
+                on_hedge=bump_hedge,
+            )
+        ctx.vectors = store.peek(ids)
+
+    # ------------------------------------------------------------------
     # batch fetch, sharded fan-out
     # ------------------------------------------------------------------
 
@@ -128,6 +184,17 @@ class FetchStage(PipelineStage):
         array, so the result is bitwise independent of worker count and
         completion order.  The per-shard page split lands in
         ``ctx.pages_per_shard`` and task timings in ``ctx.shard_seconds``.
+
+        Each task routes through
+        :meth:`~repro.exec.ShardExecutor.call_with_failover`: with
+        ``replication_factor > 1`` a replica whose disk is broken (or
+        breaker-open) fails over to the shard's next replica, and a
+        replica slower than ``hedge_after_ms`` races one.  Replicas hold
+        identical bytes and share the primary's fileno, so results and
+        scoped page accounting stay bitwise equal to the fault-free run
+        whichever replicas serve.  A shard only lands in ``errors`` --
+        and from there in the partial-mode degrade path -- when *every*
+        replica is down.
         """
         index = self.index
         ctx.union, ctx.row_of = union_rows(ctx.candidates, store.n_points)
@@ -136,28 +203,57 @@ class FetchStage(PipelineStage):
         executor = index._make_executor()
 
         vectors = np.empty((ctx.union.size, store.dimensionality), dtype=float)
+        # one writer per slot (the hedged slot tolerates its two legs
+        # racing: both write identical values)
+        retries = [0] * store.n_shards
+        failovers = [0] * store.n_shards
+        hedges = [0] * store.n_shards
 
         def make_task(s: int):
             positions, local_rows = splits[s]
 
+            def bump_retry() -> None:
+                retries[s] += 1
+
+            def bump_failover() -> None:
+                failovers[s] += 1
+
+            def bump_hedge() -> None:
+                hedges[s] += 1
+
+            def replica_fetch(r: int):
+                def fetch():
+                    # modeled latency is paid only on pages that actually
+                    # hit the simulated disk: the per-call charged count
+                    # excludes buffer-pool hits and scope dedup, while the
+                    # returned distinct (pool-oblivious) count feeds
+                    # pages_coalesced.  Per-call, not a tracker delta --
+                    # concurrent batches share the shard trackers but
+                    # never each other's scope
+                    distinct, charged = store.charge_shard_replica_detailed(
+                        s, r, plan[s], scope=ctx.scope
+                    )
+                    executor.io_wait(charged)
+                    if positions.size:
+                        vectors[positions] = store.replicas[s][r].peek(local_rows)
+                    return distinct
+
+                return fetch
+
             def task():
-                # modeled latency is paid only on pages that actually hit
-                # the simulated disk: the per-call charged count excludes
-                # buffer-pool hits and scope dedup, while the returned
-                # distinct (pool-oblivious) count feeds pages_coalesced.
-                # Per-call, not a tracker delta -- concurrent batches
-                # share the shard trackers but never each other's scope
-                distinct, charged = store.charge_shard_detailed(
-                    s, plan[s], scope=ctx.scope
+                return executor.call_with_failover(
+                    [
+                        (store.replica_disk(s, r), replica_fetch(r))
+                        for r in range(store.replication_factor)
+                    ],
+                    on_retry=bump_retry,
+                    on_failover=bump_failover,
+                    on_hedge=bump_hedge,
                 )
-                executor.io_wait(charged)
-                if positions.size:
-                    vectors[positions] = store.shards[s].peek(local_rows)
-                return distinct
 
             return task
 
-        pages, seconds, errors, retries = executor.run_guarded(
+        pages, seconds, errors, _ = executor.run_guarded(
             [make_task(s) for s in range(store.n_shards)]
         )
         n_retries = int(sum(retries))
@@ -165,6 +261,8 @@ class FetchStage(PipelineStage):
             ctx.io_retries += n_retries
             if ctx.scope is not None:
                 ctx.scope.count_retry(n_retries)
+        ctx.n_failovers += int(sum(failovers))
+        ctx.n_hedged += int(sum(hedges))
         failed = {s: err for s, err in enumerate(errors) if err is not None}
         if failed:
             if index.config.shard_failure != "partial":

@@ -45,7 +45,7 @@ import asyncio
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 import numpy as np
 
@@ -234,6 +234,21 @@ class ServeStats:
     #: ``admission_timeout_ms`` (distinct from ``n_rejected``, the
     #: ``overflow="reject"`` fast fails).
     n_admission_timeouts: int = 0
+    #: replica fetches failed over to another replica across all served
+    #: batches (``replication_factor > 1``; failovers never inflate
+    #: ``total_pages_read``).
+    n_failovers: int = 0
+    #: hedged replica reads launched across all served batches
+    #: (``hedge_after_ms``).
+    n_hedged: int = 0
+    #: circuit-breaker open transitions on the index's shard health
+    #: registry over its lifetime (a re-open after a failed half-open
+    #: probe counts again).
+    n_breaker_opens: int = 0
+    #: latest per-disk breaker snapshot (disk -> state dict) from the
+    #: index's :class:`~repro.exec.ShardHealthRegistry`; ``None`` until
+    #: a batch resolves on an index that has one.
+    shard_health: Optional[Dict[int, Dict[str, object]]] = None
     #: effective sizes of the most recent dispatches, in dispatch order.
     batch_sizes: Deque[int] = field(
         default_factory=lambda: deque(maxlen=_BATCH_SIZE_HISTORY)
@@ -736,6 +751,12 @@ class MicroBatcher:
         batch = task.result()
         self.stats.batch_stats.append(batch.stats)
         self.stats.total_pages_read += batch.stats.pages_read
+        self.stats.n_failovers += getattr(batch.stats, "n_failovers", 0)
+        self.stats.n_hedged += getattr(batch.stats, "n_hedged", 0)
+        health = getattr(self.index, "shard_health", None)
+        if health is not None:
+            self.stats.n_breaker_opens = health.n_breaker_opens
+            self.stats.shard_health = health.snapshot()
         failures = getattr(batch, "failures", None) or {}
         for i, (future, result) in enumerate(zip(futures, batch.results)):
             if future.done():

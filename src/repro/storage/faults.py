@@ -9,10 +9,16 @@ and, per shard, can:
 * raise :class:`~repro.exceptions.TransientIOError` on individual page
   reads with a seeded probability and/or a bounded fault budget
   (``max_faults``), so retries make progress deterministically;
-* stall a shard's charge calls by ``stall_seconds`` (deadline tests);
+* stall a shard's charge calls by ``stall_seconds`` (deadline and
+  hedged-read tests);
 * mark a shard ``broken`` -- every access raises
   :class:`~repro.exceptions.ShardUnavailableError` until the plan is
-  cleared (the permanent-failure / graceful-degradation path).
+  cleared (the permanent-failure / graceful-degradation path);
+* kill a shard *mid-run* with ``fail_after_n_calls``: the plan allows
+  that many more access calls, then behaves as ``broken`` -- the
+  deterministic trigger breaker and fail-mid-batch tests script;
+* :meth:`FaultInjector.heal` reverses any of the above per shard (or
+  everywhere), the recovery half of a scripted fail -> heal arc.
 
 Transient faults fire only on pages the querying scope has not already
 charged: a page already admitted models data the OS cache holds, which
@@ -57,6 +63,11 @@ class FaultPlan:
     stall_seconds: float = 0.0
     #: permanently unreachable: every access raises ``ShardUnavailableError``.
     broken: bool = False
+    #: allow this many more access calls, then act as ``broken`` --
+    #: ``None`` (default) never triggers.  The countdown starts when the
+    #: plan is installed, so a mid-workload kill is scriptable to the
+    #: exact charge call.
+    fail_after_n_calls: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
@@ -67,12 +78,17 @@ class FaultPlan:
             raise InvalidParameterError("max_faults must be >= 0 (or None)")
         if self.stall_seconds < 0.0:
             raise InvalidParameterError("stall_seconds must be >= 0")
+        if self.fail_after_n_calls is not None and self.fail_after_n_calls < 0:
+            raise InvalidParameterError(
+                "fail_after_n_calls must be >= 0 (or None)"
+            )
 
     @property
     def idle(self) -> bool:
         """Plan that can never do anything."""
         return (
             not self.broken
+            and self.fail_after_n_calls is None
             and self.stall_seconds == 0.0
             and (self.probability == 0.0 or self.max_faults == 0)
         )
@@ -96,6 +112,9 @@ class FaultInjector:
         self.injected_per_shard: Dict[int, int] = {}
         #: charge calls stalled so far.
         self.n_stalls = 0
+        #: remaining access-call allowance per shard for plans with
+        #: ``fail_after_n_calls`` (initialised when the plan installs).
+        self._remaining_calls: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # schedule management
@@ -108,8 +127,12 @@ class FaultInjector:
         with self._lock:
             if shard is None:
                 self._default = plan
+                self._remaining_calls.clear()
             else:
                 self._plans[int(shard)] = plan
+                self._remaining_calls.pop(int(shard), None)
+                if plan.fail_after_n_calls is not None:
+                    self._remaining_calls[int(shard)] = plan.fail_after_n_calls
         return plan
 
     def clear(self) -> None:
@@ -117,6 +140,19 @@ class FaultInjector:
         with self._lock:
             self._plans.clear()
             self._default = FaultPlan()
+            self._remaining_calls.clear()
+
+    def heal(self, shard: Optional[int] = None) -> None:
+        """Repair a shard: install an explicitly idle plan for it (so a
+        faulty *default* plan cannot re-break it), or -- with no shard
+        -- repair everything, like :meth:`clear`.  The recovery half of
+        a scripted fail -> heal arc; lifetime counters are kept."""
+        if shard is None:
+            self.clear()
+            return
+        with self._lock:
+            self._plans[int(shard)] = FaultPlan()
+            self._remaining_calls.pop(int(shard), None)
 
     def plan_for(self, shard: int) -> FaultPlan:
         """The plan governing a shard."""
@@ -142,12 +178,24 @@ class FaultInjector:
             return self.injected_per_shard.get(int(shard), 0) < plan.max_faults
 
     def before_access(self, shard: int) -> None:
-        """Per-call hook: stall and/or refuse a broken shard."""
+        """Per-call hook: stall, count down a scheduled kill, and/or
+        refuse a broken shard."""
         plan = self.plan_for(shard)
         if plan.stall_seconds > 0.0:
             with self._lock:
                 self.n_stalls += 1
             time.sleep(plan.stall_seconds)
+        if plan.fail_after_n_calls is not None:
+            with self._lock:
+                remaining = self._remaining_calls.setdefault(
+                    int(shard), plan.fail_after_n_calls
+                )
+                if remaining <= 0:
+                    raise ShardUnavailableError(
+                        f"shard {shard} went offline after its allowed "
+                        f"{plan.fail_after_n_calls} calls (injected kill)"
+                    )
+                self._remaining_calls[int(shard)] = remaining - 1
         if plan.broken:
             raise ShardUnavailableError(
                 f"shard {shard} is offline (injected permanent fault)"

@@ -29,6 +29,17 @@ Shard placement defaults to striping *pages* of the global layout order
 round-robin, but callers (the BB-forest) can pass an explicit per-point
 ``shard_of`` assignment -- e.g. striping whole leaves so that each
 shard keeps leaf-level locality.
+
+Replication (``replication_factor = R``): every shard's pages exist as
+R identical copies placed on R *distinct* simulated disks by rotation
+-- replica ``r`` of shard ``s`` lives on disk ``(s + r) % n_shards``
+(so disk ``d`` hosts the primary of shard ``d`` plus replicas of its
+``R - 1`` predecessors, and killing one disk costs every shard at most
+one replica).  All replicas of a shard share the primary's ``fileno``:
+a page's identity is logical, so whichever replica serves it, the
+querying scope admits it exactly once and failover re-charges never
+double-count.  Each replica has its own :class:`ShardTracker` mirror,
+so per-replica lifetime totals still sum to the aggregate total.
 """
 
 from __future__ import annotations
@@ -96,6 +107,10 @@ class ShardedDataStore:
     buffer_pool:
         Optional cross-query page cache shared by all shards (shard
         filenos keep the keys distinct).
+    replication_factor:
+        Copies of every shard's pages, each on a distinct simulated
+        disk (rotating placement).  ``1`` (default) keeps the
+        unreplicated layout; must not exceed ``n_shards``.
     """
 
     def __init__(
@@ -107,11 +122,17 @@ class ShardedDataStore:
         page_size_bytes: int = 65536,
         tracker: DiskAccessTracker | None = None,
         buffer_pool: BufferPool | None = None,
+        replication_factor: int = 1,
     ) -> None:
         points = np.atleast_2d(np.asarray(points, dtype=float))
         n, d = points.shape
         if n_shards < 1:
             raise InvalidParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if not 1 <= replication_factor <= n_shards:
+            raise InvalidParameterError(
+                f"replication_factor must be in [1, n_shards={n_shards}], "
+                f"got {replication_factor}"
+            )
         if layout_order is None:
             layout_order = np.arange(n)
         layout_order = np.asarray(layout_order, dtype=int)
@@ -119,6 +140,7 @@ class ShardedDataStore:
             raise InvalidParameterError("layout_order must be a permutation of range(n)")
 
         self.n_shards = int(n_shards)
+        self.replication_factor = int(replication_factor)
         self.n_points = n
         self.dimensionality = d
         self.page_size_bytes = int(page_size_bytes)
@@ -148,6 +170,15 @@ class ShardedDataStore:
         self.shard_trackers: List[ShardTracker] = [
             ShardTracker(self.tracker) for _ in range(self.n_shards)
         ]
+        #: ``replica_trackers[s][r]``: the mirror counting replica ``r``
+        #: of shard ``s`` (``[s][0] is shard_trackers[s]``); every
+        #: admitted charge lands on exactly one mirror, so the sum over
+        #: all replicas still equals the aggregate total.
+        self.replica_trackers: List[List[ShardTracker]] = []
+        #: ``replicas[s][r]``: identical copies of shard ``s``'s store,
+        #: replica ``r`` hosted on disk :meth:`replica_disk` ``(s, r)``.
+        #: All share replica 0's fileno (logical page identity).
+        self.replicas: List[List[DataStore]] = []
         self.shards: List[DataStore] = []
         #: global id -> row within its shard's store.
         self._local = np.empty(n, dtype=int)
@@ -158,24 +189,50 @@ class ShardedDataStore:
             ids = np.flatnonzero(shard_of == s)
             ids = ids[np.argsort(rank[ids], kind="stable")]
             self._local[ids] = np.arange(ids.size)
-            self.shards.append(
-                DataStore(
-                    points[ids].reshape(ids.size, d),
+            shard_points = points[ids].reshape(ids.size, d)
+            copies: List[DataStore] = []
+            mirrors: List[ShardTracker] = []
+            for r in range(self.replication_factor):
+                mirror = (
+                    self.shard_trackers[s] if r == 0 else ShardTracker(self.tracker)
+                )
+                copy = DataStore(
+                    shard_points,
                     layout_order=np.arange(ids.size),
                     page_size_bytes=self.page_size_bytes,
-                    tracker=self.shard_trackers[s],
+                    tracker=mirror,
                     buffer_pool=buffer_pool,
                 )
-            )
+                if r > 0:
+                    # same logical file: a page charged on any replica
+                    # dedups (scope) and caches (pool) as one page
+                    copy.fileno = copies[0].fileno
+                copies.append(copy)
+                mirrors.append(mirror)
+            self.replicas.append(copies)
+            self.replica_trackers.append(mirrors)
+            self.shards.append(copies[0])
 
         self.fault = None
 
+    def replica_disk(self, shard: int, replica: int) -> int:
+        """Disk hosting replica ``r`` of shard ``s`` (rotating placement).
+
+        Replica 0 (the primary) stays on disk ``s``, so unreplicated
+        stores keep the legacy shard -> disk identity.
+        """
+        return (int(shard) + int(replica)) % self.n_shards
+
     def attach_faults(self, injector) -> None:
-        """Install a :class:`~repro.storage.faults.FaultInjector`: shard
-        ``s``'s store faults according to the injector's plan for ``s``."""
+        """Install a :class:`~repro.storage.faults.FaultInjector`: every
+        replica store faults according to the injector's plan for the
+        *disk* hosting it -- breaking disk ``d`` takes down the primary
+        of shard ``d`` and one replica of each of its ``R - 1``
+        predecessors, exactly like losing one physical device."""
         self.fault = injector
-        for s, store in enumerate(self.shards):
-            store.attach_faults(injector, shard_id=s)
+        for s in range(self.n_shards):
+            for r, store in enumerate(self.replicas[s]):
+                store.attach_faults(injector, shard_id=self.replica_disk(s, r))
 
     # ------------------------------------------------------------------
     # addressing
@@ -300,6 +357,26 @@ class ShardedDataStore:
         """
         return self.shards[shard].charge_pages_detailed(local_groups, scope=scope)
 
+    def charge_shard_replica_detailed(
+        self,
+        shard: int,
+        replica: int,
+        local_groups: Sequence[Sequence[int]],
+        scope: Optional[QueryScope] = None,
+    ) -> Tuple[int, int]:
+        """:meth:`charge_shard_detailed` against one specific replica.
+
+        The failover/hedging unit: replicas share the primary's fileno,
+        so a slice partially charged on one replica and re-charged on
+        another lands in the same scope dedup set -- ``pages_read``
+        stays exactly what a fault-free run charges, whichever replicas
+        end up serving.  The count lands on the serving replica's own
+        :class:`ShardTracker` mirror.
+        """
+        return self.replicas[shard][replica].charge_pages_detailed(
+            local_groups, scope=scope
+        )
+
     def begin_charge(self) -> None:
         """Reset the per-shard fan-out record before a set of
         :meth:`charge_shard` calls (one batch's worth)."""
@@ -393,13 +470,16 @@ class ShardedDataStore:
             page_size_bytes=self.page_size_bytes,
             tracker=self.tracker,
             buffer_pool=self.buffer_pool,
+            replication_factor=self.replication_factor,
         )
         # keep shard identities: same filenos (pool keys stay valid) and
-        # the same lifetime per-shard trackers
+        # the same lifetime per-replica trackers
         store.shard_trackers = self.shard_trackers
+        store.replica_trackers = self.replica_trackers
         for s in range(self.n_shards):
-            store.shards[s].fileno = self.shards[s].fileno
-            store.shards[s].tracker = self.shard_trackers[s]
+            for r in range(self.replication_factor):
+                store.replicas[s][r].fileno = self.replicas[s][r].fileno
+                store.replicas[s][r].tracker = self.replica_trackers[s][r]
         if self.fault is not None:
             store.attach_faults(self.fault)
         return store
@@ -410,8 +490,21 @@ class ShardedDataStore:
 
     @property
     def shard_pages_read(self) -> List[int]:
-        """Lifetime pages read per shard (sums to the aggregate total)."""
-        return [tracker.total_pages_read for tracker in self.shard_trackers]
+        """Lifetime pages read per shard, summed over the shard's
+        replicas (sums to the aggregate total)."""
+        return [
+            sum(tracker.total_pages_read for tracker in mirrors)
+            for mirrors in self.replica_trackers
+        ]
+
+    @property
+    def replica_pages_read(self) -> List[List[int]]:
+        """Lifetime pages read per ``[shard][replica]`` mirror; the
+        grand total equals the aggregate tracker's total."""
+        return [
+            [tracker.total_pages_read for tracker in mirrors]
+            for mirrors in self.replica_trackers
+        ]
 
     @property
     def shard_sizes(self) -> List[int]:
@@ -421,6 +514,6 @@ class ShardedDataStore:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardedDataStore(n={self.n_points}, d={self.dimensionality}, "
-            f"shards={self.n_shards}, pages={self.n_pages}, "
-            f"page_size={self.page_size_bytes}B)"
+            f"shards={self.n_shards}, replication={self.replication_factor}, "
+            f"pages={self.n_pages}, page_size={self.page_size_bytes}B)"
         )

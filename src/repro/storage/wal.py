@@ -48,6 +48,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from typing import List, Optional
@@ -135,6 +136,16 @@ class WriteAheadLog:
         ``False`` (default) only flushes to the OS -- the simulated
         crash-recovery tests and benchmarks exercise the same code
         paths without paying device latency.
+    group_commit_ms:
+        When set, appends within this window share one flush/fsync
+        (group commit): the first appender under the lock becomes the
+        group *leader*, writes its record, waits out the window while
+        followers append theirs, then makes the whole group durable
+        with a single flush and releases everyone.  No append
+        acknowledges before its record is flushed -- the WAL contract
+        is unchanged; only the flush count drops (``n_flushes``) at the
+        price of up to one window of acknowledge latency.  ``None``
+        (default) flushes every append individually.
 
     Appends and compaction serialise on an internal lock, so concurrent
     mutators (holding the index's mutation lock) and a merge's
@@ -142,9 +153,30 @@ class WriteAheadLog:
     writes.
     """
 
-    def __init__(self, path: str, fresh: bool = False, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        fresh: bool = False,
+        fsync: bool = False,
+        group_commit_ms: Optional[float] = None,
+    ) -> None:
+        if group_commit_ms is not None and group_commit_ms < 0:
+            raise InvalidParameterError(
+                "group_commit_ms must be >= 0 (or None to disable)"
+            )
         self.path = str(path)
         self.fsync = bool(fsync)
+        self.group_commit_s = (
+            group_commit_ms / 1000.0 if group_commit_ms is not None else None
+        )
+        #: durability flushes performed (each covers >= 1 record under
+        #: group commit; == records appended without it).
+        self.n_flushes = 0
+        #: appends that rode a group led by another appender.
+        self.n_group_followers = 0
+        #: the current open group's release event (``None`` when no
+        #: group is collecting); guarded by ``_lock``.
+        self._group: Optional[threading.Event] = None
         self._lock = threading.Lock()
         if fresh:
             self._file = open(self.path, "wb")
@@ -186,10 +218,36 @@ class WriteAheadLog:
             if self._file.closed:
                 raise WALError(f"write-ahead log {self.path!r} is closed")
             self._file.write(record)
-            self._file.flush()
-            if self.fsync:
-                os.fsync(self._file.fileno())
             self.last_version = max(self.last_version, version)
+            if self.group_commit_s is None:
+                self._flush_locked()
+                return
+            if self._group is None:
+                # first in: lead a new group -- wait out the window so
+                # concurrent appenders can pile on, then flush for all
+                group = self._group = threading.Event()
+                leader = True
+            else:
+                group = self._group
+                leader = False
+                self.n_group_followers += 1
+        if leader:
+            time.sleep(self.group_commit_s)
+            with self._lock:
+                self._group = None
+                if not self._file.closed:
+                    self._flush_locked()
+            group.set()
+        else:
+            # acknowledged only once the leader's flush covered us
+            group.wait()
+
+    def _flush_locked(self) -> None:
+        """Flush (and optionally fsync) under ``_lock``."""
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.n_flushes += 1
 
     # ------------------------------------------------------------------
     # reading / maintenance

@@ -130,6 +130,29 @@ class TestFaultInjector:
         assert time.perf_counter() - start >= 0.01
         assert injector.n_stalls == 1
 
+    def test_fail_after_n_calls_kills_mid_run(self):
+        """The scheduled kill allows exactly N more access calls, then
+        behaves as broken -- until a heal repairs it."""
+        store, injector = self._faulty_store(seed=8, probability=0.0)
+        injector.set_plan(fail_after_n_calls=2)
+        store.fetch([0])
+        store.fetch([1])  # the allowance is spent
+        with pytest.raises(ShardUnavailableError):
+            store.fetch([2])
+        with pytest.raises(ShardUnavailableError):
+            store.fetch([2])  # and stays dead
+        injector.heal(0)
+        store.fetch([2])  # repaired
+
+    def test_reinstalling_a_plan_resets_the_countdown(self):
+        store, injector = self._faulty_store(seed=9, probability=0.0)
+        injector.set_plan(fail_after_n_calls=1)
+        store.fetch([0])
+        injector.set_plan(fail_after_n_calls=1)  # fresh allowance
+        store.fetch([1])
+        with pytest.raises(ShardUnavailableError):
+            store.fetch([2])
+
     def test_cached_pages_never_fault(self):
         """A page the scope already admitted models cached data -- the
         flaky device cannot fail it, which is what makes retries make

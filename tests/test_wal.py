@@ -13,13 +13,14 @@ single-disk and sharded layouts.
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 import pytest
 
 from repro.core.config import BrePartitionConfig
 from repro.core.index import BrePartitionIndex
-from repro.exceptions import WALError
+from repro.exceptions import InvalidParameterError, WALError
 from repro.storage import Checkpoint, FaultInjector, WriteAheadLog
 from repro.storage.wal import OP_COMMIT, OP_DELETE, OP_INSERT, _MAGIC
 
@@ -161,6 +162,94 @@ class TestLogFormat:
             fh.write(b"garbage, not an npz")
         with pytest.raises(WALError):
             Checkpoint.load(wal_path)
+
+
+# ----------------------------------------------------------------------
+# group commit
+# ----------------------------------------------------------------------
+
+
+class TestGroupCommit:
+    def test_validation(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            WriteAheadLog(
+                str(tmp_path / "t.wal"), fresh=True, group_commit_ms=-1.0
+            )
+
+    def test_without_group_commit_every_append_flushes(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "t.wal"), fresh=True)
+        for v in range(1, 5):
+            wal.append_delete(v, version=v)
+        assert wal.n_flushes == 4
+        assert wal.n_group_followers == 0
+        wal.close()
+
+    def test_concurrent_appends_share_one_flush(self, tmp_path):
+        """The satellite contract: appends within the window ride one
+        leader's flush -- fewer flushes than appends, every record
+        durable, and nothing acknowledged before its flush."""
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog(path, fresh=True, group_commit_ms=30.0)
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def append(i: int) -> None:
+            barrier.wait()  # pile into one window
+            wal.append_insert(i, np.full(4, float(i)), version=i + 1)
+
+        threads = [
+            threading.Thread(target=append, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert wal.n_flushes < n  # shared flushes
+        assert wal.n_group_followers > 0
+        assert wal.n_flushes + wal.n_group_followers == n
+        wal.close()
+
+        scan = WriteAheadLog.scan(path)  # every append is on disk
+        assert scan.torn_bytes == 0
+        assert sorted(r.pid for r in scan.records) == list(range(n))
+
+    def test_sequential_appends_still_durable(self, tmp_path):
+        """A lone appender leads a group of one: slower (it waits the
+        window) but just as durable."""
+        path = str(tmp_path / "t.wal")
+        wal = WriteAheadLog(path, fresh=True, group_commit_ms=1.0)
+        wal.append_insert(0, np.ones(3), version=1)
+        wal.append_delete(0, version=2)
+        assert wal.n_flushes == 2
+        assert wal.n_group_followers == 0
+        wal.close()
+        assert len(WriteAheadLog.scan(path).records) == 2
+
+    def test_index_threads_the_window_through(self, tmp_path):
+        """``wal_group_commit_ms`` reaches the log the index opens, and
+        acknowledged mutations recover after a crash exactly as without
+        group commit."""
+        divergence = all_decomposable_divergences(8)[0][1]
+        points = points_for(divergence, 32, 8, seed=61)
+        config = _config(tmp_path, wal_group_commit_ms=5.0)
+        index = BrePartitionIndex(divergence, config).build(points)
+        assert index._wal.group_commit_s == pytest.approx(0.005)
+        extra = points_for(divergence, 3, 8, seed=62)
+        pids = [index.insert(p) for p in extra]
+        index.delete(pids[0])
+        del index  # crash: nothing shut down cleanly
+
+        recovered = BrePartitionIndex.recover(
+            config.wal_path, divergence, config
+        )
+        live = {pid: extra[i] for i, pid in enumerate(pids) if i > 0}
+        for i, point in enumerate(points):
+            live[i] = point
+        query = points_for(divergence, 1, 8, seed=63)[0]
+        want_ids, want_div = _oracle(divergence, live, query, 5)
+        got = recovered.search(query, 5)
+        np.testing.assert_array_equal(got.ids, want_ids)
+        np.testing.assert_allclose(got.divergences, want_div)
 
 
 # ----------------------------------------------------------------------
