@@ -12,6 +12,17 @@ fonts workload have tiny candidate sets, and the dense kernel scores
 the full (union x queries) matrix regardless, so candidate-set skew
 erodes the win.  The row is kept as an honest data point.
 
+The ``mid_density`` entry (ISSUE 9 satellite) settles a proposed dense
+optimization: gathering only per-query candidate rows when fewer than
+half the (union x B) cells are real pairs.  The union contains no dead
+rows by construction -- every union row is some query's candidate -- so
+a per-query row gather of real pairs *is* the sparse grouped kernel.
+The entry therefore measures dense vs sparse on a ~0.5-density workload
+on identical inputs: dense wins there (the grouped kernel's gathers
+cost more than the dense kernel's wasted-but-sequential cells), which
+is why the auto threshold stays at 0.3 and no separate gather path was
+added (measured, dropped).
+
 Running the file directly rewrites ``BENCH_refinement.json`` in the
 repo root (the machine-readable perf trajectory); pytest only checks
 parity plus the slow-marked 2x assertion.
@@ -121,6 +132,60 @@ def measure(dataset, index, batch_size: int) -> dict:
     }
 
 
+MID_DENSITY = 0.5
+MID_DENSITY_BATCH = 64
+MID_DENSITY_UNION = 800
+
+
+def measure_mid_density(dataset, index) -> dict:
+    """Dense vs sparse at ~0.5 density: the proposed-gather regime.
+
+    Each of B queries keeps a uniform half of a shared row pool, so
+    about half the (union x B) cells are real pairs -- exactly where a
+    "gather candidate rows only" dense variant would target.  Since that
+    variant is the sparse grouped kernel (no dead union rows exist),
+    this measures it directly, on bitwise-identical outputs.
+    """
+    queries = dataset.queries[:MID_DENSITY_BATCH]
+    rng = np.random.default_rng(7)
+    pool = np.arange(min(index.n_points, MID_DENSITY_UNION))
+    per_query = int(MID_DENSITY * pool.size)
+    candidates = [
+        np.sort(rng.choice(pool, size=per_query, replace=False))
+        for _ in range(MID_DENSITY_BATCH)
+    ]
+    union = np.unique(np.concatenate(candidates))
+    density = float(
+        np.mean([c.size for c in candidates]) / union.size
+    )
+    index.datastore.charge_pages_for(candidates)
+
+    results, timings = {}, {}
+    for kernel in ("dense", "sparse"):
+        index.config.refine_kernel = kernel
+        results[kernel] = index._refine_batch(candidates, queries, K)
+        timings[kernel] = _best_of(
+            lambda: index._refine_batch(candidates, queries, K)
+        )
+    index.config.refine_kernel = "auto"
+    for (a_ids, a_divs), (b_ids, b_divs) in zip(
+        results["dense"], results["sparse"]
+    ):
+        np.testing.assert_array_equal(a_ids, b_ids)
+        np.testing.assert_array_equal(a_divs, b_divs)
+    return {
+        "batch_size": MID_DENSITY_BATCH,
+        "density": density,
+        "union_candidates": int(union.size),
+        "dense_seconds": timings["dense"],
+        "sparse_seconds": timings["sparse"],
+        "dense_speedup_vs_gather": timings["sparse"] / timings["dense"],
+        "auto_kernel": index._choose_refine_kernel(
+            candidates, union.size, MID_DENSITY_BATCH
+        ),
+    }
+
+
 def test_blocked_refinement_matches_looped(workload):
     dataset, index = workload
     for batch_size in BATCH_SIZES:
@@ -130,6 +195,11 @@ def test_blocked_refinement_matches_looped(workload):
         ):
             np.testing.assert_array_equal(blocked_ids, looped_ids)
             np.testing.assert_array_equal(blocked_divs, looped_divs)
+
+
+def test_mid_density_kernels_bitwise_identical(workload):
+    dataset, index = workload
+    measure_mid_density(dataset, index)  # asserts parity
 
 
 @pytest.mark.slow
@@ -174,6 +244,15 @@ def main() -> None:
             f"block {result['block_rows']} rows)"
         )
 
+    mid = measure_mid_density(dataset, index)
+    print(
+        f"mid-density (gather would-be regime): density {mid['density']:.3f}, "
+        f"dense {mid['dense_seconds'] * 1e3:.1f}ms vs "
+        f"sparse/gather {mid['sparse_seconds'] * 1e3:.1f}ms -> dense "
+        f"{mid['dense_speedup_vs_gather']:.2f}x faster (auto -> "
+        f"{mid['auto_kernel']}); gather path measured, dropped"
+    )
+
     payload = {
         "benchmark": "refinement_kernel",
         "dataset": DATASET,
@@ -185,6 +264,18 @@ def main() -> None:
         "reps": REPS,
         "target_speedup_at_64": TARGET_SPEEDUP,
         "results": rows,
+        "mid_density": {
+            "note": (
+                "dense candidate-row gather would equal the sparse "
+                "grouped kernel (the union has no dead rows); dense wins "
+                "at ~0.5 density, so the gather path was measured and "
+                "dropped"
+            ),
+            **{
+                key: (round(value, 6) if isinstance(value, float) else value)
+                for key, value in mid.items()
+            },
+        },
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")

@@ -37,6 +37,7 @@ from ..exceptions import (
     WALError,
 )
 from ..exec.executor import ShardExecutor, ShardHealthRegistry
+from ..exec.procpool import RefinementProcessPool
 from ..partitioning.optimizer import (
     CostModelParams,
     calibrate_cost_model,
@@ -107,6 +108,11 @@ class BrePartitionIndex:
         self.construction_seconds: float = 0.0
         self._points: Optional[np.ndarray] = None
         self._refine_conditioner = None
+        #: lazily-created multiprocess refinement pool (``refine_backend``
+        #: "process"/"auto" with ``refine_workers > 1``); owned by the
+        #: index so workers persist across batches, shut down by
+        #: :meth:`close`.
+        self._refine_pool = None
         #: the published frozen base (epoch'd, immutable) and the delta
         #: buffer of unmerged updates; together they are the index state
         #: a search snapshots.  Guarded by ``_mutate_lock``.
@@ -855,6 +861,8 @@ class BrePartitionIndex:
             n_queries=n_queries,
             n_candidates=total_candidates,
             refine_kernel=ctx.refine_kernel,
+            refine_backend=ctx.refine_backend,
+            refine_workers=ctx.refine_workers,
             shard_workers=self.config.shard_workers if sharded else 1,
             shard_seconds=ctx.shard_seconds,
             stage_seconds=dict(ctx.stage_seconds),
@@ -965,6 +973,33 @@ class BrePartitionIndex:
             health=self.shard_health,
             hedge_after_seconds=hedge / 1000.0 if hedge is not None else None,
         )
+
+    def refine_pool(self) -> RefinementProcessPool:
+        """The index's persistent multiprocess refinement pool.
+
+        Created on first use (workers themselves spawn lazily on the
+        first dispatch) and resized if ``config.refine_workers`` changed
+        since; the Refine stage calls this only after
+        :meth:`~repro.pipeline.refine.RefineStage.choose_backend`
+        resolved to the ``process`` backend.
+        """
+        if self._refine_pool is None:
+            self._refine_pool = RefinementProcessPool(
+                self.divergence, self.config.refine_workers
+            )
+        else:
+            self._refine_pool.ensure_workers(self.config.refine_workers)
+        return self._refine_pool
+
+    def close(self) -> None:
+        """Release process-pool workers; safe to call repeatedly.
+
+        The index stays usable after ``close()`` -- a later process
+        dispatch simply respawns the pool -- so this is a resource
+        release, not a terminal state.
+        """
+        if self._refine_pool is not None:
+            self._refine_pool.shutdown()
 
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:
         """Hook for the approximate extension; exact search returns as-is."""

@@ -1,0 +1,564 @@
+"""Multiprocess refinement compute: shared-memory slabs, zero-copy scoring.
+
+The Refine stage's NumPy kernels are CPU-bound and GIL-serialised --
+``shard_workers`` threads overlap modeled I/O waits but buy nothing once
+the batch is compute-bound (the ``BENCH_parallel.json`` zero-latency
+control: 0.97x at 4 threads).  :class:`RefinementProcessPool` breaks
+that ceiling by scoring disjoint slices of the refinement problem in
+worker *processes*, each with its own interpreter and GIL.
+
+Shared-memory layout
+--------------------
+
+Vector data never crosses a pipe.  Per dispatch the parent allocates
+POSIX shared-memory slabs (:mod:`multiprocessing.shared_memory`) and
+copies the **already-conditioned** inputs in once:
+
+==========  =========================  =====================================
+slab        shape / dtype              contents
+==========  =========================  =====================================
+vectors     ``(union, d)`` float64     conditioned candidate union rows
+queries     ``(B, d)`` float64         conditioned query rows
+pairs       ``(2, P)`` int64           sparse only: pair (row, query) index
+out         ``(union, B)`` float64     dense scores (disjoint row ranges)
+out         ``(P,)`` float64           sparse scores (disjoint pair ranges)
+==========  =========================  =====================================
+
+Task descriptors (slab names, shapes, a ``[lo, hi)`` range, the block
+size and the conditioner's output factor) are the only thing pickled on
+the hot path.  Workers attach the slabs by name, run the *same*
+divergence kernels the serial path runs (``cross_divergence`` /
+``cross_divergence_grouped``), and write into their disjoint slice of
+the output slab.
+
+Bitwise composition
+-------------------
+
+The pool inherits the repo's load-bearing invariant -- scores bitwise
+identical for any worker count -- from two kernel contracts:
+
+* **Dense**: each output element of ``cross_divergence`` is a fixed-order
+  per-row reduction (``np.einsum("nj,bj->nb")`` plus per-row ``phi``
+  sums), so row ``i``'s column values are bitwise independent of which
+  other rows are scored alongside it.  Splitting the union into worker
+  row-ranges (each sub-blocked by the same ``refinement_block_for``
+  budget as the serial path) therefore composes bit-for-bit.
+* **Sparse**: ``cross_divergence_grouped`` pair values equal the dense
+  matrix entries bit for bit and depend only on the pair's own (point
+  row, query row) terms -- blocking is an output partition.  Splitting
+  the query-major pair list at query-bucket boundaries (or anywhere)
+  cannot change a value.
+* **Conditioning** is elementwise (shift/scale per coordinate, factor
+  per output), so conditioning the full arrays once in the parent is
+  bitwise identical to the serial path's per-call conditioning.
+
+I/O accounting is untouched: Fetch already charged every candidate page
+before Refine runs, and workers read vectors from shared memory, so
+process workers never charge pages -- per-scope ``pages_read`` is
+bitwise the serial run's.
+
+Lifecycle
+---------
+
+Workers spawn lazily on the first process-backend dispatch (``fork``
+start method where available -- instant on Linux -- ``spawn``
+otherwise) and persist across batches; slabs are per-dispatch, so a
+``merge()`` republishing the index between batches needs no slab
+republish -- the next dispatch simply snapshots the new conditioned
+arrays.  A worker death mid-dispatch is detected by liveness polling,
+the worker is respawned on its surviving task queue, and its unacked
+tasks are re-dispatched once (slab writes are idempotent: same disjoint
+range, same values).  A second death on retried work raises a clean
+:class:`~repro.exceptions.RefinementPoolError` after respawning, so no
+futures are stranded and the pool stays usable.  ``shutdown()`` (wired
+to ``BrePartitionIndex.close``) stops workers orderly; workers are
+daemonic, so they can never outlive the parent.
+
+Each worker pins BLAS/OpenMP thread counts to 1 at startup (env-var
+guard, best effort under ``fork`` where BLAS is already initialised) so
+NumPy's internal threading cannot oversubscribe cores under the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import RefinementPoolError
+
+__all__ = ["RefinementProcessPool", "shared_memory_available"]
+
+#: env vars pinned to "1" in every pool worker so BLAS/OpenMP pools
+#: inside NumPy do not multiply against the process fan-out.
+_BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+#: seconds between liveness polls while waiting on worker acks.
+_POLL_SECONDS = 0.05
+
+_shm_probe_result: Optional[bool] = None
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory actually works on this platform.
+
+    Probes by creating (and immediately unlinking) a tiny segment; the
+    result is cached.  Benchmarks and the ``auto`` backend use this to
+    skip the process pool gracefully where ``/dev/shm`` (or the
+    platform equivalent) is absent.
+    """
+    global _shm_probe_result
+    if _shm_probe_result is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=8)
+            probe.close()
+            probe.unlink()
+            _shm_probe_result = True
+        except Exception:
+            _shm_probe_result = False
+    return _shm_probe_result
+
+
+def _pin_blas_threads() -> None:
+    """Env-var guard: one BLAS/OpenMP thread per pool worker.
+
+    Effective before NumPy's threading layer initialises (always true
+    under ``spawn``; under ``fork`` the layer may already be live, so
+    this is best effort -- the expansion kernels are einsum/ufunc-bound
+    and do not hit threaded BLAS paths anyway).
+    """
+    for var in _BLAS_ENV_VARS:
+        os.environ[var] = "1"
+
+
+def _attach(descriptor: Tuple[str, tuple, str]):
+    """Attach a shared-memory slab and wrap it as an ndarray view."""
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = descriptor
+    # the parent owns (and unlinks) every slab; tell newer Pythons not
+    # to enrol this attachment with the resource tracker, which would
+    # otherwise unlink parent slabs when a worker exits.  Older Pythons
+    # (< 3.13) never track attachments, so the plain form is already safe.
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+
+def _run_task(divergence, task: dict) -> None:
+    """Score one task's slice, writing into the shared output slab.
+
+    Mirrors the serial :class:`~repro.pipeline.refine.RefineStage`
+    paths exactly: the dense branch walks ``[lo, hi)`` in the same
+    ``block``-row steps and applies the conditioner ``factor`` per
+    block; the sparse branch scores its pair range through the grouped
+    kernel with the serial path's ``pair_block``.
+    """
+    handles = []
+    try:
+        vec_shm, vectors = _attach(task["vectors"])
+        handles.append(vec_shm)
+        qry_shm, queries = _attach(task["queries"])
+        handles.append(qry_shm)
+        out_shm, out = _attach(task["out"])
+        handles.append(out_shm)
+        factor = task["factor"]
+        lo, hi = task["lo"], task["hi"]
+        if task["kind"] == "dense":
+            block = task["block"]
+            for blo in range(lo, hi, block):
+                bhi = min(blo + block, hi)
+                values = divergence.cross_divergence(vectors[blo:bhi], queries)
+                if factor != 1.0:
+                    values = values * factor
+                out[blo:bhi] = values
+        else:
+            pairs_shm, pairs = _attach(task["pairs"])
+            handles.append(pairs_shm)
+            values = divergence.cross_divergence_grouped(
+                vectors,
+                queries,
+                pairs[0, lo:hi],
+                pairs[1, lo:hi],
+                pair_block=task["pair_block"],
+            )
+            if factor != 1.0:
+                values = values * factor
+            out[lo:hi] = values
+    finally:
+        for shm in handles:
+            shm.close()
+
+
+def _worker_main(worker_id: int, divergence, task_queue, result_queue) -> None:
+    """Pool-worker loop: pull task descriptors, score, ack.
+
+    Module-level (spawn-compatible).  Control messages: ``stop`` ends
+    the loop orderly; ``exit`` is the fault-injection seam -- the worker
+    dies as if killed, without acking (tests and chaos drills).
+    """
+    _pin_blas_threads()
+    while True:
+        task = task_queue.get()
+        kind = task.get("kind")
+        if kind == "stop":
+            return
+        if kind == "exit":
+            os._exit(1)
+        try:
+            _run_task(divergence, task)
+        except BaseException as error:  # ack the failure; parent raises
+            result_queue.put(
+                (task["task_id"], worker_id, f"{type(error).__name__}: {error}")
+            )
+        else:
+            result_queue.put((task["task_id"], worker_id, None))
+
+
+class RefinementProcessPool:
+    """Persistent, lazily-spawned process pool for refinement scoring.
+
+    Parameters
+    ----------
+    divergence:
+        The index's divergence; pickled once per worker spawn (tiny --
+        at most a ``(d,)`` weight vector), never per dispatch.
+    n_workers:
+        Worker processes.  :meth:`ensure_workers` resizes (respawning)
+        when the configured width changes between dispatches.
+
+    Dispatches are synchronous: :meth:`score_dense` / :meth:`score_sparse`
+    block until every worker acked its slice, then return a private copy
+    of the output slab.  See the module docstring for the layout,
+    bitwise-composition and failure-handling contracts.
+    """
+
+    def __init__(self, divergence, n_workers: int) -> None:
+        if n_workers < 1:
+            raise RefinementPoolError(f"n_workers must be >= 1, got {n_workers}")
+        if not shared_memory_available():
+            raise RefinementPoolError(
+                "process refinement backend needs multiprocessing.shared_memory; "
+                "unavailable on this platform (use refine_backend='serial'/'auto')"
+            )
+        self.divergence = divergence
+        self.n_workers = int(n_workers)
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._processes: List = []
+        self._task_queues: List = []
+        self._results = None
+        self._next_task_id = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes are currently spawned."""
+        return bool(self._processes)
+
+    def ensure_workers(self, n_workers: int) -> None:
+        """Match the pool width to ``n_workers`` (respawn on change)."""
+        if n_workers != self.n_workers:
+            self.shutdown()
+            self.n_workers = int(n_workers)
+
+    def _ensure_started(self) -> None:
+        if self._processes:
+            return
+        # pin BLAS env in the parent too: spawn children read it at
+        # interpreter start; fork children inherit it for any BLAS
+        # layer that initialises lazily after the fork
+        for var in _BLAS_ENV_VARS:
+            os.environ.setdefault(var, "1")
+        self._results = self._ctx.Queue()
+        self._task_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
+        self._processes = [
+            self._spawn(worker_id) for worker_id in range(self.n_workers)
+        ]
+
+    def _spawn(self, worker_id: int):
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self.divergence,
+                self._task_queues[worker_id],
+                self._results,
+            ),
+            daemon=True,
+            name=f"refine-worker-{worker_id}",
+        )
+        process.start()
+        return process
+
+    def shutdown(self) -> None:
+        """Stop workers orderly; safe to call repeatedly."""
+        if not self._processes:
+            return
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put({"kind": "stop"})
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        for task_queue in self._task_queues:
+            task_queue.close()
+        if self._results is not None:
+            self._results.close()
+        self._processes = []
+        self._task_queues = []
+        self._results = None
+
+    def inject_worker_exit(self, worker_id: int) -> None:
+        """Fault-injection seam: make ``worker_id`` die before its next task.
+
+        Enqueues an ``exit`` control message on the worker's queue; the
+        worker (or, because the queue survives a respawn, its
+        replacement) processes it in FIFO order and dies unacked --
+        exactly what a mid-batch kill looks like to the dispatcher.
+        Queue two to drill the double-death path.
+        """
+        self._ensure_started()
+        self._task_queues[worker_id].put({"kind": "exit"})
+
+    # ------------------------------------------------------------------
+    # shared-memory slabs
+    # ------------------------------------------------------------------
+
+    def _make_slab(self, shape: tuple, dtype: str, fill: Optional[np.ndarray]):
+        """Create one shm slab, optionally copying ``fill`` in."""
+        from multiprocessing import shared_memory
+
+        nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        if fill is not None:
+            np.copyto(view, fill)
+        return shm, view, (shm.name, shape, dtype)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def score_dense(
+        self,
+        vectors: np.ndarray,
+        queries: np.ndarray,
+        factor: float,
+        block: int,
+    ) -> np.ndarray:
+        """Parallel dense scoring: the full conditioned ``(union, B)`` matrix.
+
+        ``vectors``/``queries`` must already be conditioned; ``block``
+        is the serial path's ``refinement_block_for`` budget, applied
+        inside each worker's row range so per-block temporaries match
+        the serial path's cache behaviour.
+        """
+        n_rows, n_queries = vectors.shape[0], queries.shape[0]
+        slabs, tasks = [], []
+        try:
+            vec_shm, _, vec_desc = self._make_slab(vectors.shape, "float64", vectors)
+            slabs.append(vec_shm)
+            qry_shm, _, qry_desc = self._make_slab(queries.shape, "float64", queries)
+            slabs.append(qry_shm)
+            out_shm, out_view, out_desc = self._make_slab(
+                (n_rows, n_queries), "float64", None
+            )
+            slabs.append(out_shm)
+            for lo, hi in self._split_even(n_rows):
+                tasks.append(
+                    {
+                        "kind": "dense",
+                        "vectors": vec_desc,
+                        "queries": qry_desc,
+                        "out": out_desc,
+                        "lo": lo,
+                        "hi": hi,
+                        "block": block,
+                        "factor": factor,
+                    }
+                )
+            self._dispatch(tasks)
+            return np.array(out_view)  # private copy; slabs die below
+        finally:
+            for shm in slabs:
+                shm.close()
+                shm.unlink()
+
+    def score_sparse(
+        self,
+        vectors: np.ndarray,
+        queries: np.ndarray,
+        pair_rows: np.ndarray,
+        pair_queries: np.ndarray,
+        offsets: np.ndarray,
+        factor: float,
+        pair_block: int,
+    ) -> np.ndarray:
+        """Parallel sparse scoring: the conditioned ``(P,)`` pair values.
+
+        The query-major pair list is split at query-bucket boundaries
+        (``offsets``, from :func:`~repro.pipeline.refine.build_pairs`)
+        into near-even contiguous ranges, one per worker.
+        """
+        n_pairs = pair_rows.size
+        slabs, tasks = [], []
+        try:
+            vec_shm, _, vec_desc = self._make_slab(vectors.shape, "float64", vectors)
+            slabs.append(vec_shm)
+            qry_shm, _, qry_desc = self._make_slab(queries.shape, "float64", queries)
+            slabs.append(qry_shm)
+            pair_shm, _, pair_desc = self._make_slab(
+                (2, n_pairs), "int64", np.stack([pair_rows, pair_queries])
+            )
+            slabs.append(pair_shm)
+            out_shm, out_view, out_desc = self._make_slab((n_pairs,), "float64", None)
+            slabs.append(out_shm)
+            for lo, hi in self._split_at_buckets(n_pairs, offsets):
+                tasks.append(
+                    {
+                        "kind": "sparse",
+                        "vectors": vec_desc,
+                        "queries": qry_desc,
+                        "pairs": pair_desc,
+                        "out": out_desc,
+                        "lo": lo,
+                        "hi": hi,
+                        "pair_block": pair_block,
+                        "factor": factor,
+                    }
+                )
+            self._dispatch(tasks)
+            return np.array(out_view)
+        finally:
+            for shm in slabs:
+                shm.close()
+                shm.unlink()
+
+    def _split_even(self, n_items: int) -> List[Tuple[int, int]]:
+        """Near-even contiguous ``[lo, hi)`` ranges, one per worker."""
+        n_tasks = min(self.n_workers, n_items)
+        if n_tasks == 0:
+            return []
+        bounds = np.linspace(0, n_items, n_tasks + 1).astype(int)
+        return [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(n_tasks)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+    def _split_at_buckets(
+        self, n_pairs: int, offsets: np.ndarray
+    ) -> List[Tuple[int, int]]:
+        """Split the pair list at query-bucket boundaries, near-even.
+
+        Walks the query-major ``offsets`` greedily toward
+        ``n_pairs / n_workers`` pairs per range.  Any split is bitwise
+        safe (pair values are independent); bucket boundaries keep each
+        query's ``pair_contract`` run in one worker for gather locality.
+        A single huge bucket simply yields fewer, larger ranges.
+        """
+        if n_pairs == 0:
+            return []
+        target = max(1, -(-n_pairs // self.n_workers))  # ceil division
+        ranges: List[Tuple[int, int]] = []
+        lo = 0
+        for boundary in offsets[1:-1]:
+            boundary = int(boundary)
+            if boundary - lo >= target and boundary > lo:
+                ranges.append((lo, boundary))
+                lo = boundary
+                if len(ranges) == self.n_workers - 1:
+                    break
+        if lo < n_pairs:
+            ranges.append((lo, n_pairs))
+        return ranges
+
+    def _dispatch(self, tasks: List[dict]) -> None:
+        """Run ``tasks`` to completion with death detection and one retry.
+
+        Tasks map one-to-one onto workers (at most ``n_workers`` tasks
+        per dispatch).  On a worker death the worker is respawned on its
+        surviving queue and its unacked tasks are re-enqueued; a death
+        on already-retried work raises
+        :class:`~repro.exceptions.RefinementPoolError` -- after the
+        respawn, so the pool survives its own failure report.
+        """
+        if not tasks:
+            return
+        self._ensure_started()
+        assignments: Dict[int, list] = {}
+        for i, task in enumerate(tasks):
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            task["task_id"] = task_id
+            worker_id = i % self.n_workers
+            assignments[task_id] = [worker_id, task, False]
+            self._task_queues[worker_id].put(task)
+        pending = set(assignments)
+        while pending:
+            try:
+                task_id, _, error = self._results.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                self._reap_dead_workers(assignments, pending)
+                continue
+            if task_id not in pending:
+                continue  # late ack from an abandoned dispatch
+            if error is not None:
+                raise RefinementPoolError(
+                    f"refinement worker failed its slice: {error}"
+                )
+            pending.discard(task_id)
+
+    def _reap_dead_workers(self, assignments: Dict[int, list], pending) -> None:
+        """Respawn dead workers; retry their tasks once, then fail clean."""
+        dead = {
+            assignments[task_id][0]
+            for task_id in pending
+            if not self._processes[assignments[task_id][0]].is_alive()
+        }
+        for worker_id in dead:
+            retried_death = any(
+                assignments[task_id][2]
+                for task_id in pending
+                if assignments[task_id][0] == worker_id
+            )
+            # the task queue survives the process: respawn onto it so
+            # later dispatches (and queued control messages) continue
+            self._processes[worker_id] = self._spawn(worker_id)
+            if retried_death:
+                raise RefinementPoolError(
+                    f"refinement worker {worker_id} died twice on the same "
+                    "batch (respawn-and-retry exhausted); pool respawned"
+                )
+            for task_id in sorted(pending):
+                worker, task, _ = assignments[task_id]
+                if worker == worker_id:
+                    assignments[task_id][2] = True
+                    self._task_queues[worker_id].put(task)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "live" if self.started else "idle"
+        return f"RefinementProcessPool(workers={self.n_workers}, {state})"

@@ -63,21 +63,35 @@ class TestPipelineOracleParity:
 
     @pytest.mark.parametrize("name,divergence", all_decomposable_divergences(DIM))
     def test_batch_matches_brute_force_bitwise(self, name, divergence):
+        from repro.exec import shared_memory_available
+
         points = points_for(divergence, N_POINTS, DIM, seed=1)
         queries = points_for(divergence, N_QUERIES, DIM, seed=2)
         index = build_index(
             divergence, points, n_shards=4, page_size_bytes=PAGE_BYTES
         )
         index.config.shard_workers = 4
-        for kernel in ("dense", "sparse", "auto"):
-            index.config.refine_kernel = kernel
-            batch = index.search_batch(queries, K)
-            for query, result in zip(queries, batch):
-                oracle_ids, oracle_divs = brute_force_knn(
-                    divergence, points, query, K
-                )
-                np.testing.assert_array_equal(result.ids, oracle_ids)
-                np.testing.assert_array_equal(result.divergences, oracle_divs)
+        backends = ["serial"]
+        if shared_memory_available():
+            backends.append("process")
+        try:
+            for backend in backends:
+                index.config.refine_backend = backend
+                index.config.refine_workers = 4 if backend == "process" else 1
+                index.config.min_refine_rows_per_worker = 1
+                for kernel in ("dense", "sparse", "auto"):
+                    index.config.refine_kernel = kernel
+                    batch = index.search_batch(queries, K)
+                    for query, result in zip(queries, batch):
+                        oracle_ids, oracle_divs = brute_force_knn(
+                            divergence, points, query, K
+                        )
+                        np.testing.assert_array_equal(result.ids, oracle_ids)
+                        np.testing.assert_array_equal(
+                            result.divergences, oracle_divs
+                        )
+        finally:
+            index.close()
 
     @pytest.mark.parametrize("name,divergence", all_decomposable_divergences(DIM))
     def test_single_search_matches_brute_force_bitwise(self, name, divergence):
@@ -89,6 +103,48 @@ class TestPipelineOracleParity:
             oracle_ids, oracle_divs = brute_force_knn(divergence, points, query, K)
             np.testing.assert_array_equal(result.ids, oracle_ids)
             np.testing.assert_array_equal(result.divergences, oracle_divs)
+
+
+class TestChooseKernelEdges:
+    """Satellite: the adaptive dispatcher's degenerate and boundary cases."""
+
+    def _stage(self, **kwargs):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, N_POINTS, DIM, seed=1)
+        index = build_index(divergence, points, **kwargs)
+        return index, index.pipeline.stage("refine")
+
+    def test_empty_candidate_lists_have_zero_density(self):
+        # all-empty candidate lists: total_pairs == 0, density 0 is
+        # strictly below any positive threshold -> sparse (which then
+        # scores zero pairs)
+        _, stage = self._stage()
+        empty = [np.empty(0, dtype=int) for _ in range(3)]
+        assert stage.choose_kernel(empty, 100, 3) == "sparse"
+
+    def test_zero_union_or_zero_queries_is_dense(self):
+        # density is undefined at union 0 / B 0; the dispatcher answers
+        # "dense" and the stage scores nothing either way
+        _, stage = self._stage()
+        assert stage.choose_kernel([], 0, 0) == "dense"
+        assert stage.choose_kernel([], 100, 0) == "dense"
+        assert stage.choose_kernel([np.arange(3)], 0, 1) == "dense"
+
+    def test_density_exactly_at_threshold_is_dense(self):
+        # the comparison is strict: density == threshold keeps dense
+        index, stage = self._stage()
+        candidates = [np.arange(25), np.arange(25)]  # 50 / (100 * 2) = 0.25
+        index.config.sparse_density_threshold = 0.25
+        assert stage.choose_kernel(candidates, 100, 2) == "dense"
+        index.config.sparse_density_threshold = 0.2500001
+        assert stage.choose_kernel(candidates, 100, 2) == "sparse"
+
+    def test_forced_kernels_ignore_degenerate_batches(self):
+        index, stage = self._stage(refine_kernel="sparse")
+        assert stage.choose_kernel([], 0, 0) == "sparse"
+        assert stage.choose_kernel([np.empty(0, dtype=int)], 0, 1) == "sparse"
+        index.config.refine_kernel = "dense"
+        assert stage.choose_kernel([np.empty(0, dtype=int)], 0, 1) == "dense"
 
 
 class TestStageMechanics:
