@@ -10,13 +10,23 @@ from ..partitioning.contiguous import ContiguousPartitioner
 from ..partitioning.pccp import PCCPPartitioner
 from ..partitioning.scheme import PartitionStrategy
 
-__all__ = ["BrePartitionConfig", "REFINE_KERNELS", "REFINE_BACKENDS"]
+__all__ = [
+    "BrePartitionConfig",
+    "REFINE_KERNELS",
+    "REFINE_BACKENDS",
+    "REFINE_START_METHODS",
+]
 
 #: valid values of :attr:`BrePartitionConfig.refine_kernel`.
 REFINE_KERNELS = ("auto", "dense", "sparse")
 
 #: valid values of :attr:`BrePartitionConfig.refine_backend`.
 REFINE_BACKENDS = ("auto", "serial", "process")
+
+#: valid non-``None`` values of
+#: :attr:`BrePartitionConfig.refine_start_method`; availability is
+#: platform-dependent and checked at pool construction.
+REFINE_START_METHODS = ("forkserver", "spawn", "fork")
 
 
 @dataclass
@@ -107,6 +117,16 @@ class BrePartitionConfig:
         ``refine_workers`` times this.  Below it the per-dispatch cost
         (slab allocation + task IPC, ~1ms) outweighs the parallel win
         and auto stays serial.  Forced ``"process"`` ignores the floor.
+    refine_start_method:
+        Multiprocessing start method for pool workers: one of
+        ``"forkserver"``/``"spawn"``/``"fork"``, or ``None`` (default)
+        to resolve via the ``REPRO_REFINE_START_METHOD`` env var, then
+        ``forkserver`` falling back to ``spawn``.  ``fork`` is never
+        picked implicitly: workers spawn lazily from the (by then
+        multithreaded) serving process, and forking a multithreaded
+        parent can deadlock children on inherited malloc/BLAS/logging
+        locks.  Availability is validated when the pool is built, since
+        it is platform-dependent.
     simulated_io_iops:
         When set, the shard fan-out models each simulated disk as
         serving this many page reads per second (see
@@ -188,6 +208,7 @@ class BrePartitionConfig:
     refine_backend: str = "auto"
     refine_workers: int = 1
     min_refine_rows_per_worker: int = 1024
+    refine_start_method: Optional[str] = None
     simulated_io_iops: Optional[float] = None
     io_max_retries: int = 0
     io_backoff_ms: float = 1.0
@@ -237,6 +258,13 @@ class BrePartitionConfig:
         if self.min_refine_rows_per_worker < 1:
             raise InvalidParameterError(
                 "min_refine_rows_per_worker must be >= 1"
+            )
+        if self.refine_start_method is not None and (
+            self.refine_start_method not in REFINE_START_METHODS
+        ):
+            raise InvalidParameterError(
+                f"refine_start_method must be None or one of "
+                f"{REFINE_START_METHODS}, got {self.refine_start_method!r}"
             )
         if self.simulated_io_iops is not None and self.simulated_io_iops <= 0:
             raise InvalidParameterError(

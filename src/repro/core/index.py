@@ -111,8 +111,11 @@ class BrePartitionIndex:
         #: lazily-created multiprocess refinement pool (``refine_backend``
         #: "process"/"auto" with ``refine_workers > 1``); owned by the
         #: index so workers persist across batches, shut down by
-        #: :meth:`close`.
+        #: :meth:`close`.  Creation/resize/close are guarded by
+        #: ``_refine_pool_lock`` -- concurrent serve batches all route
+        #: here, and an unguarded lazy create would leak a second pool.
         self._refine_pool = None
+        self._refine_pool_lock = threading.Lock()
         #: the published frozen base (epoch'd, immutable) and the delta
         #: buffer of unmerged updates; together they are the index state
         #: a search snapshots.  Guarded by ``_mutate_lock``.
@@ -981,15 +984,22 @@ class BrePartitionIndex:
         first dispatch) and resized if ``config.refine_workers`` changed
         since; the Refine stage calls this only after
         :meth:`~repro.pipeline.refine.RefineStage.choose_backend`
-        resolved to the ``process`` backend.
+        resolved to the ``process`` backend.  Thread-safe: concurrent
+        batches race to create the singleton, and the lock keeps the
+        loser from spawning (and leaking) a second worker set; the
+        pool's own lock then keeps any resize/close from tearing down
+        queues under an in-flight dispatch.
         """
-        if self._refine_pool is None:
-            self._refine_pool = RefinementProcessPool(
-                self.divergence, self.config.refine_workers
-            )
-        else:
-            self._refine_pool.ensure_workers(self.config.refine_workers)
-        return self._refine_pool
+        with self._refine_pool_lock:
+            if self._refine_pool is None:
+                self._refine_pool = RefinementProcessPool(
+                    self.divergence,
+                    self.config.refine_workers,
+                    start_method=self.config.refine_start_method,
+                )
+            else:
+                self._refine_pool.ensure_workers(self.config.refine_workers)
+            return self._refine_pool
 
     def close(self) -> None:
         """Release process-pool workers; safe to call repeatedly.
@@ -998,8 +1008,9 @@ class BrePartitionIndex:
         dispatch simply respawns the pool -- so this is a resource
         release, not a terminal state.
         """
-        if self._refine_pool is not None:
-            self._refine_pool.shutdown()
+        with self._refine_pool_lock:
+            if self._refine_pool is not None:
+                self._refine_pool.shutdown()
 
     def _adjust_radii(self, search_bounds, triples) -> np.ndarray:
         """Hook for the approximate extension; exact search returns as-is."""

@@ -60,9 +60,16 @@ bitwise the serial run's.
 Lifecycle
 ---------
 
-Workers spawn lazily on the first process-backend dispatch (``fork``
-start method where available -- instant on Linux -- ``spawn``
-otherwise) and persist across batches; slabs are per-dispatch, so a
+Workers spawn lazily on the first process-backend dispatch and persist
+across batches.  The start method prefers ``forkserver`` (fork from a
+clean single-threaded server process), falling back to ``spawn``: the
+first dispatch happens on a worker thread of an already multithreaded
+parent (micro-batcher executor, shard fan-out, WAL group commit), and
+``fork``-ing a multithreaded process can leave inherited locks
+(malloc/BLAS/logging) held forever in the child.  ``fork`` is still
+selectable explicitly (``start_method="fork"`` /
+``BrePartitionConfig.refine_start_method``) for single-threaded
+embedders who want the instant spawn.  Slabs are per-dispatch, so a
 ``merge()`` republishing the index between batches needs no slab
 republish -- the next dispatch simply snapshots the new conditioned
 arrays.  A worker death mid-dispatch is detected by liveness polling,
@@ -77,6 +84,20 @@ daemonic, so they can never outlive the parent.
 Each worker pins BLAS/OpenMP thread counts to 1 at startup (env-var
 guard, best effort under ``fork`` where BLAS is already initialised) so
 NumPy's internal threading cannot oversubscribe cores under the pool.
+
+Thread safety
+-------------
+
+One pool is shared by every concurrent serve batch (the micro-batcher
+runs ``search_batch`` on up to ``max_concurrent_batches`` executor
+threads, all routing to the index's singleton pool).  All dispatches
+ack through one result queue, so an internal lock serialises each
+dispatch end-to-end -- otherwise thread A could consume thread B's ack,
+drop it as stale, and leave B polling forever.  The same lock guards
+lifecycle transitions (``ensure_workers`` resize, ``shutdown``), so a
+close can never tear down queues under an in-flight dispatch.  Workers
+still score a single dispatch's slices in parallel; only concurrent
+*dispatches* queue behind each other.
 """
 
 from __future__ import annotations
@@ -84,6 +105,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -104,6 +126,41 @@ _BLAS_ENV_VARS = (
 
 #: seconds between liveness polls while waiting on worker acks.
 _POLL_SECONDS = 0.05
+
+#: default start-method preference: fork workers from a clean
+#: single-threaded server process ("forkserver"), never from the
+#: multithreaded serving parent; "spawn" where that is unavailable.
+_START_METHOD_PREFERENCE = ("forkserver", "spawn")
+
+#: environment override for the worker start method (an explicit
+#: ``start_method=`` argument still wins over it).
+_START_METHOD_ENV = "REPRO_REFINE_START_METHOD"
+
+
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    """Pick the multiprocessing start method for pool workers.
+
+    Precedence: explicit argument > ``REPRO_REFINE_START_METHOD`` env
+    var > the first available of ``("forkserver", "spawn")``.  ``fork``
+    is never chosen implicitly: workers spawn lazily on the first
+    dispatch, which in the serve path runs on a thread of an already
+    multithreaded parent, and forking a multithreaded process can leave
+    inherited locks held forever in the child.
+    """
+    available = multiprocessing.get_all_start_methods()
+    if start_method is None:
+        start_method = os.environ.get(_START_METHOD_ENV) or None
+    if start_method is not None:
+        if start_method not in available:
+            raise RefinementPoolError(
+                f"start method {start_method!r} unavailable on this platform "
+                f"(have {tuple(available)})"
+            )
+        return start_method
+    for method in _START_METHOD_PREFERENCE:
+        if method in available:
+            return method
+    return available[0]  # pragma: no cover - no forkserver/spawn platform
 
 _shm_probe_result: Optional[bool] = None
 
@@ -147,14 +204,32 @@ def _attach(descriptor: Tuple[str, tuple, str]):
     from multiprocessing import shared_memory
 
     name, shape, dtype = descriptor
-    # the parent owns (and unlinks) every slab; tell newer Pythons not
-    # to enrol this attachment with the resource tracker, which would
-    # otherwise unlink parent slabs when a worker exits.  Older Pythons
-    # (< 3.13) never track attachments, so the plain form is already safe.
+    # the parent owns (and unlinks) every slab; keep this attachment out
+    # of the resource tracker, which would otherwise warn about (or try
+    # to unlink) parent-owned slabs when a worker exits.  3.13+ has the
+    # ``track`` kwarg; 3.8-3.12 *do* auto-register attachments with the
+    # tracker (bpo-38119), and the tracker cache is one set shared by
+    # every worker -- so unregistering after the fact would KeyError in
+    # the tracker for all but the first worker on a slab.  Suppress the
+    # registration itself instead (the documented pre-3.13 workaround).
     try:
         shm = shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # pragma: no cover - Python < 3.13
-        shm = shared_memory.SharedMemory(name=name)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+
+        def untracked_register(name, rtype):
+            if rtype != "shared_memory":
+                original_register(name, rtype)
+
+        # workers are single-threaded task loops, so the swap cannot
+        # race another registration in this process
+        resource_tracker.register = untracked_register
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
     return shm, np.ndarray(shape, dtype=dtype, buffer=shm.buf)
 
 
@@ -239,14 +314,27 @@ class RefinementProcessPool:
     n_workers:
         Worker processes.  :meth:`ensure_workers` resizes (respawning)
         when the configured width changes between dispatches.
+    start_method:
+        Multiprocessing start method for workers; ``None`` (default)
+        resolves via ``REPRO_REFINE_START_METHOD`` then the
+        ``("forkserver", "spawn")`` preference -- see
+        :func:`_resolve_start_method` for why ``fork`` must be asked
+        for explicitly.
 
     Dispatches are synchronous: :meth:`score_dense` / :meth:`score_sparse`
     block until every worker acked its slice, then return a private copy
-    of the output slab.  See the module docstring for the layout,
-    bitwise-composition and failure-handling contracts.
+    of the output slab.  The pool is thread-safe: an internal lock
+    serialises dispatches and lifecycle transitions (see the module
+    docstring's thread-safety section).  See the module docstring for
+    the layout, bitwise-composition and failure-handling contracts.
     """
 
-    def __init__(self, divergence, n_workers: int) -> None:
+    def __init__(
+        self,
+        divergence,
+        n_workers: int,
+        start_method: Optional[str] = None,
+    ) -> None:
         if n_workers < 1:
             raise RefinementPoolError(f"n_workers must be >= 1, got {n_workers}")
         if not shared_memory_available():
@@ -256,14 +344,23 @@ class RefinementProcessPool:
             )
         self.divergence = divergence
         self.n_workers = int(n_workers)
-        methods = multiprocessing.get_all_start_methods()
-        self._ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
+        self.start_method = _resolve_start_method(start_method)
+        self._ctx = multiprocessing.get_context(self.start_method)
+        if self.start_method == "forkserver":
+            # warm the fork server with the scoring stack once so each
+            # worker forks with numpy/the kernels already imported,
+            # instead of paying a cold interpreter start per spawn
+            try:
+                self._ctx.set_forkserver_preload([__name__])
+            except Exception:  # pragma: no cover - preload is best effort
+                pass
         self._processes: List = []
         self._task_queues: List = []
         self._results = None
         self._next_task_id = 0
+        #: serialises dispatches (shared result queue -- see the module
+        #: docstring) and lifecycle transitions against each other.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -275,10 +372,15 @@ class RefinementProcessPool:
         return bool(self._processes)
 
     def ensure_workers(self, n_workers: int) -> None:
-        """Match the pool width to ``n_workers`` (respawn on change)."""
-        if n_workers != self.n_workers:
-            self.shutdown()
-            self.n_workers = int(n_workers)
+        """Match the pool width to ``n_workers`` (respawn on change).
+
+        Takes the dispatch lock, so a resize waits out any in-flight
+        dispatch instead of closing queues under it.
+        """
+        with self._lock:
+            if n_workers != self.n_workers:
+                self._shutdown_locked()
+                self.n_workers = int(n_workers)
 
     def _ensure_started(self) -> None:
         if self._processes:
@@ -310,7 +412,12 @@ class RefinementProcessPool:
         return process
 
     def shutdown(self) -> None:
-        """Stop workers orderly; safe to call repeatedly."""
+        """Stop workers orderly; safe to call repeatedly and from any
+        thread -- waits for an in-flight dispatch to finish first."""
+        with self._lock:
+            self._shutdown_locked()
+
+    def _shutdown_locked(self) -> None:
         if not self._processes:
             return
         for task_queue in self._task_queues:
@@ -340,8 +447,9 @@ class RefinementProcessPool:
         exactly what a mid-batch kill looks like to the dispatcher.
         Queue two to drill the double-death path.
         """
-        self._ensure_started()
-        self._task_queues[worker_id].put({"kind": "exit"})
+        with self._lock:
+            self._ensure_started()
+            self._task_queues[worker_id].put({"kind": "exit"})
 
     # ------------------------------------------------------------------
     # shared-memory slabs
@@ -505,32 +613,39 @@ class RefinementProcessPool:
         on already-retried work raises
         :class:`~repro.exceptions.RefinementPoolError` -- after the
         respawn, so the pool survives its own failure report.
+
+        Holds the pool lock end-to-end: every dispatch acks through the
+        one shared result queue, so without serialisation a concurrent
+        serve batch could consume this dispatch's ack, drop it as stale
+        (its ``pending`` is per-call), and strand this thread polling
+        live workers forever.
         """
         if not tasks:
             return
-        self._ensure_started()
-        assignments: Dict[int, list] = {}
-        for i, task in enumerate(tasks):
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            task["task_id"] = task_id
-            worker_id = i % self.n_workers
-            assignments[task_id] = [worker_id, task, False]
-            self._task_queues[worker_id].put(task)
-        pending = set(assignments)
-        while pending:
-            try:
-                task_id, _, error = self._results.get(timeout=_POLL_SECONDS)
-            except queue_module.Empty:
-                self._reap_dead_workers(assignments, pending)
-                continue
-            if task_id not in pending:
-                continue  # late ack from an abandoned dispatch
-            if error is not None:
-                raise RefinementPoolError(
-                    f"refinement worker failed its slice: {error}"
-                )
-            pending.discard(task_id)
+        with self._lock:
+            self._ensure_started()
+            assignments: Dict[int, list] = {}
+            for i, task in enumerate(tasks):
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                task["task_id"] = task_id
+                worker_id = i % self.n_workers
+                assignments[task_id] = [worker_id, task, False]
+                self._task_queues[worker_id].put(task)
+            pending = set(assignments)
+            while pending:
+                try:
+                    task_id, _, error = self._results.get(timeout=_POLL_SECONDS)
+                except queue_module.Empty:
+                    self._reap_dead_workers(assignments, pending)
+                    continue
+                if task_id not in pending:
+                    continue  # late ack from an abandoned dispatch
+                if error is not None:
+                    raise RefinementPoolError(
+                        f"refinement worker failed its slice: {error}"
+                    )
+                pending.discard(task_id)
 
     def _reap_dead_workers(self, assignments: Dict[int, list], pending) -> None:
         """Respawn dead workers; retry their tasks once, then fail clean."""

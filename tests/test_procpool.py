@@ -12,6 +12,9 @@ stranding the pool.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+
 import numpy as np
 import pytest
 
@@ -21,7 +24,7 @@ from repro import (
     GeneralizedKL,
     SquaredEuclidean,
 )
-from repro.exceptions import RefinementPoolError
+from repro.exceptions import InvalidParameterError, RefinementPoolError
 from repro.exec import RefinementProcessPool, shared_memory_available
 
 from conftest import points_for
@@ -278,6 +281,227 @@ class TestPoolLifecycle:
             for a, b in zip(first, again):
                 np.testing.assert_array_equal(a.ids, b.ids)
                 np.testing.assert_array_equal(a.divergences, b.divergences)
+        finally:
+            index.close()
+
+
+@needs_shm
+class TestThreadSafety:
+    """One pool is shared by every concurrent serve batch.
+
+    Regression suite for the review findings: unserialized dispatches
+    share one ack queue, so thread A could consume thread B's ack, drop
+    it as stale, and leave B polling live workers forever; unguarded
+    lazy creation could leak a second worker set; and a close racing a
+    dispatch could tear down the queues under it.
+    """
+
+    def _run_threads(self, target, n_threads=4, timeout=120.0):
+        errors = []
+
+        def guarded(thread_id):
+            try:
+                target(thread_id)
+            except BaseException as error:  # surfaced by the assert below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=guarded, args=(i,), daemon=True)
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=timeout)
+        assert not any(t.is_alive() for t in threads), "dispatch hung"
+        assert not errors, errors
+
+    def test_concurrent_dispatches_bitwise_and_no_hang(self):
+        divergence = GeneralizedKL()
+        vectors, queries = make_problem(divergence)
+        pair_rows, pair_queries, offsets = make_pairs(
+            vectors.shape[0], queries.shape[0]
+        )
+        dense_expected = divergence.cross_divergence(vectors, queries)
+        sparse_expected = divergence.cross_divergence_grouped(
+            vectors, queries, pair_rows, pair_queries, pair_block=64
+        )
+        pool = RefinementProcessPool(divergence, 2)
+
+        def dispatch(thread_id):
+            for _ in range(3):
+                if thread_id % 2 == 0:
+                    out = pool.score_dense(
+                        vectors, queries, factor=1.0, block=48
+                    )
+                    np.testing.assert_array_equal(out, dense_expected)
+                else:
+                    out = pool.score_sparse(
+                        vectors, queries, pair_rows, pair_queries, offsets,
+                        factor=1.0, pair_block=64,
+                    )
+                    np.testing.assert_array_equal(out, sparse_expected)
+
+        try:
+            self._run_threads(dispatch)
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_races_dispatch_without_tearing_queues(self):
+        # close takes the dispatch lock: it waits out an in-flight
+        # dispatch instead of closing its queues, and the next dispatch
+        # respawns lazily -- so interleaved close/dispatch stays bitwise
+        divergence = SquaredEuclidean()
+        vectors, queries = make_problem(divergence)
+        expected = divergence.cross_divergence(vectors, queries)
+        pool = RefinementProcessPool(divergence, 2)
+        stop = threading.Event()
+
+        def dispatch(thread_id):
+            while not stop.is_set():
+                out = pool.score_dense(vectors, queries, factor=1.0, block=48)
+                np.testing.assert_array_equal(out, expected)
+
+        closer_errors = []
+
+        def closer():
+            try:
+                for _ in range(5):
+                    pool.shutdown()
+            except BaseException as error:
+                closer_errors.append(error)
+            finally:
+                stop.set()
+
+        closer_thread = threading.Thread(target=closer, daemon=True)
+        closer_thread.start()
+        try:
+            self._run_threads(dispatch, n_threads=2)
+            closer_thread.join(timeout=60)
+            assert not closer_thread.is_alive()
+            assert not closer_errors, closer_errors
+        finally:
+            stop.set()
+            pool.shutdown()
+
+    def test_concurrent_lazy_creation_yields_one_pool(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 240, DIM, seed=1)
+        index = BrePartitionIndex(
+            divergence,
+            BrePartitionConfig(
+                n_partitions=3, seed=0, refine_backend="process",
+                refine_workers=2, min_refine_rows_per_worker=1,
+            ),
+        ).build(points)
+        pools = []
+        barrier = threading.Barrier(4)
+
+        def grab(thread_id):
+            barrier.wait(timeout=30)
+            pools.append(index.refine_pool())
+
+        try:
+            self._run_threads(grab)
+            assert len(pools) == 4
+            assert len({id(pool) for pool in pools}) == 1
+        finally:
+            index.close()
+
+    def test_concurrent_search_batch_parity(self):
+        # the end-to-end shape of the review's hang: the micro-batcher
+        # runs search_batch on max_concurrent_batches executor threads,
+        # all routing Refine through the index's one process pool
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 240, DIM, seed=1)
+        queries = points_for(divergence, 8, DIM, seed=2)
+        serial = BrePartitionIndex(
+            divergence, BrePartitionConfig(n_partitions=3, seed=0)
+        ).build(points)
+        reference = serial.search_batch(queries, K)
+        index = BrePartitionIndex(
+            divergence,
+            BrePartitionConfig(
+                n_partitions=3, seed=0, refine_backend="process",
+                refine_workers=2, min_refine_rows_per_worker=1,
+            ),
+        ).build(points)
+
+        def search(thread_id):
+            for _ in range(3):
+                batch = index.search_batch(queries, K)
+                assert batch.stats.refine_backend == "process"
+                for got, want in zip(batch, reference):
+                    np.testing.assert_array_equal(got.ids, want.ids)
+                    np.testing.assert_array_equal(
+                        got.divergences, want.divergences
+                    )
+
+        try:
+            self._run_threads(search)
+        finally:
+            index.close()
+
+
+class TestStartMethod:
+    def test_default_never_forks_implicitly(self):
+        # workers spawn lazily from an already multithreaded serving
+        # parent; fork there can deadlock children on inherited locks
+        if not shared_memory_available():
+            pytest.skip("no POSIX shared memory on this platform")
+        pool = RefinementProcessPool(SquaredEuclidean(), 2)
+        assert pool.start_method in ("forkserver", "spawn")
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        if not shared_memory_available():
+            pytest.skip("no POSIX shared memory on this platform")
+        monkeypatch.setenv("REPRO_REFINE_START_METHOD", "spawn")
+        pool = RefinementProcessPool(SquaredEuclidean(), 2)
+        assert pool.start_method == "spawn"
+
+    def test_unavailable_method_raises_clean(self):
+        if not shared_memory_available():
+            pytest.skip("no POSIX shared memory on this platform")
+        with pytest.raises(RefinementPoolError, match="unavailable"):
+            RefinementProcessPool(SquaredEuclidean(), 1, start_method="bogus")
+
+    @needs_shm
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="no fork on this platform",
+    )
+    def test_explicit_fork_still_scores_bitwise(self):
+        divergence = SquaredEuclidean()
+        vectors, queries = make_problem(divergence)
+        expected = divergence.cross_divergence(vectors, queries)
+        pool = RefinementProcessPool(divergence, 2, start_method="fork")
+        try:
+            assert pool.start_method == "fork"
+            out = pool.score_dense(vectors, queries, factor=1.0, block=64)
+            np.testing.assert_array_equal(out, expected)
+        finally:
+            pool.shutdown()
+
+    def test_config_validates_start_method(self):
+        with pytest.raises(InvalidParameterError, match="refine_start_method"):
+            BrePartitionConfig(refine_start_method="bogus")
+        assert BrePartitionConfig(
+            refine_start_method="spawn"
+        ).refine_start_method == "spawn"
+
+    @needs_shm
+    def test_config_start_method_reaches_pool(self):
+        divergence = SquaredEuclidean()
+        points = points_for(divergence, 240, DIM, seed=1)
+        index = BrePartitionIndex(
+            divergence,
+            BrePartitionConfig(
+                n_partitions=3, seed=0, refine_backend="process",
+                refine_workers=2, refine_start_method="spawn",
+            ),
+        ).build(points)
+        try:
+            assert index.refine_pool().start_method == "spawn"
         finally:
             index.close()
 
