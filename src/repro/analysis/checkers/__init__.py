@@ -1,0 +1,35 @@
+"""Checker registry.
+
+To add a checker: subclass :class:`repro.analysis.engine.Checker`,
+give it a unique kebab-case ``rule`` id and a ``hint``, implement
+``applies_to``/``collect`` (and ``finalize`` for cross-module rules),
+and append the class to :data:`CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from ..engine import Checker
+from .async_blocking import AsyncBlockingChecker
+from .fixed_order import FixedOrderReductionChecker
+from .lock_order import LockOrderChecker
+from .scope_threading import ScopeThreadingChecker
+from .shm_lifecycle import ShmLifecycleChecker
+
+CHECKERS: List[Type[Checker]] = [
+    ScopeThreadingChecker,
+    LockOrderChecker,
+    AsyncBlockingChecker,
+    FixedOrderReductionChecker,
+    ShmLifecycleChecker,
+]
+
+__all__ = [
+    "CHECKERS",
+    "ScopeThreadingChecker",
+    "LockOrderChecker",
+    "AsyncBlockingChecker",
+    "FixedOrderReductionChecker",
+    "ShmLifecycleChecker",
+]

@@ -1,0 +1,115 @@
+"""async-blocking: ``async def`` bodies in ``serve/`` must not block.
+
+The micro-batcher's admission path runs on the event loop; one
+blocking call stalls every in-flight query.  Inside ``async def``
+bodies under ``serve/`` this checker flags:
+
+* ``time.sleep(...)`` -- always (use ``await asyncio.sleep``);
+* blocking ``<queue-ish>.get(...)`` not directly awaited;
+* bare ``<lock>.acquire()`` not directly awaited (an ``await
+  lock.acquire()`` on an ``asyncio.Lock`` is fine);
+* synchronous ``search_batch(...)`` dispatch -- the batch must go
+  through ``loop.run_in_executor`` (passing the bound method as an
+  argument is fine; *calling* it inline is not).
+
+Nested ``def``/``lambda`` bodies are excluded: they typically run in
+an executor, not on the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..engine import Checker, Finding, SourceModule
+from .common import dotted_parts, walk_excluding_functions
+
+__all__ = ["AsyncBlockingChecker"]
+
+
+class AsyncBlockingChecker(Checker):
+    rule = "async-blocking"
+    hint = (
+        "never block the event loop: await asyncio primitives or "
+        "dispatch through loop.run_in_executor(...)"
+    )
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return module.in_dir("serve")
+
+    def collect(self, module: SourceModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            awaited: Set[int] = set()
+            body_nodes = []
+            for stmt in node.body:
+                body_nodes.extend(walk_excluding_functions(stmt))
+            for sub in body_nodes:
+                if isinstance(sub, ast.Await):
+                    awaited.add(id(sub.value))
+            for sub in body_nodes:
+                if not isinstance(sub, ast.Call):
+                    continue
+                findings.extend(
+                    self._check_call(module, node.name, sub, id(sub) in awaited)
+                )
+        return findings
+
+    def _check_call(
+        self,
+        module: SourceModule,
+        func_name: str,
+        call: ast.Call,
+        is_awaited: bool,
+    ) -> List[Finding]:
+        parts = dotted_parts(call.func)
+        findings: List[Finding] = []
+        if parts is not None and parts[-2:] == ("time", "sleep"):
+            findings.append(
+                self.finding(
+                    module,
+                    call,
+                    f"time.sleep() blocks the event loop in async "
+                    f"{func_name}()",
+                    hint="use `await asyncio.sleep(...)`",
+                )
+            )
+        if isinstance(call.func, ast.Attribute) and not is_awaited:
+            attr = call.func.attr
+            receiver = dotted_parts(call.func.value)
+            receiver_text = ".".join(receiver) if receiver else ""
+            if attr == "get" and "queue" in receiver_text.lower():
+                findings.append(
+                    self.finding(
+                        module,
+                        call,
+                        f"blocking {receiver_text}.get() in async "
+                        f"{func_name}()",
+                        hint="use an asyncio.Queue and `await queue.get()`",
+                    )
+                )
+            if attr == "acquire":
+                findings.append(
+                    self.finding(
+                        module,
+                        call,
+                        f"bare {receiver_text}.acquire() blocks the event "
+                        f"loop in async {func_name}()",
+                        hint="use `async with lock:` / `await lock.acquire()` "
+                        "on an asyncio.Lock",
+                    )
+                )
+        if parts is not None and parts[-1] == "search_batch":
+            findings.append(
+                self.finding(
+                    module,
+                    call,
+                    f"synchronous search_batch() dispatch in async "
+                    f"{func_name}()",
+                    hint="ship the batch through "
+                    "loop.run_in_executor(executor, index.search_batch, ...)",
+                )
+            )
+        return findings

@@ -1,0 +1,72 @@
+"""Small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = [
+    "dotted_parts",
+    "dotted_text",
+    "walk_excluding_functions",
+    "iter_functions",
+]
+
+
+def dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ``("a", "b", "c")``; None for non-dotted expressions."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def dotted_text(node: ast.AST) -> Optional[str]:
+    parts = dotted_parts(node)
+    return ".".join(parts) if parts is not None else None
+
+
+def walk_excluding_functions(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node``'s subtree, never entering a def/lambda.
+
+    Pass body *statements*, not the enclosing function node itself --
+    function nodes (nested or root) are skipped wholesale.
+    """
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield current
+        stack.extend(reversed(list(ast.iter_child_nodes(current))))
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[str], ast.AST]]:
+    """Yield ``(enclosing_class_name, function_node)`` for every def.
+
+    Functions nested inside other functions are yielded too (with the
+    class context of the outermost method, which is what lock-id
+    canonicalisation wants for ``self``).
+    """
+
+    def _walk(node: ast.AST, class_name: Optional[str]) -> Iterator[
+        Tuple[Optional[str], ast.AST]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from _walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield class_name, child
+                yield from _walk(child, class_name)
+            else:
+                yield from _walk(child, class_name)
+
+    yield from _walk(tree, None)

@@ -1,0 +1,310 @@
+"""lock-order: the lock acquisition graph must stay acyclic.
+
+Collects every ``with <lock>:`` / ``<lock>.acquire()`` nesting per
+function, canonicalising lock identities (``self._mutate_lock`` inside
+``BrePartitionIndex`` becomes ``BrePartitionIndex._mutate_lock`` so
+nestings in different methods compare), propagates one call-graph
+level (``self.m()`` / same-module ``f()`` called while holding a lock
+contributes the callee's acquisitions as edges), then reports:
+
+* any cycle in the global acquisition graph (potential deadlock — two
+  threads can take the locks in opposite orders), and
+* any re-acquisition of a non-reentrant lock already held (direct
+  nesting or through a one-level call), which self-deadlocks.
+
+Names count as locks when their last component matches ``lock`` /
+``mutex`` (case-insensitive substring), the repo's naming convention
+(``_lock``, ``_mutate_lock``, ``_pin_lock``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Checker, Finding, SourceModule
+from .common import dotted_parts, iter_functions
+
+__all__ = ["LockOrderChecker"]
+
+_LOCK_NAME_RE = re.compile(r"(lock|mutex)", re.IGNORECASE)
+
+#: (module path, class name or None, function name)
+_FuncKey = Tuple[str, Optional[str], str]
+_Location = Tuple[str, int, int]
+
+
+def _lock_id(node: ast.AST, class_name: Optional[str]) -> Optional[str]:
+    """Canonical lock identity for an expression, or None if not a lock."""
+    parts = dotted_parts(node)
+    if parts is None or not _LOCK_NAME_RE.search(parts[-1]):
+        return None
+    if parts[0] == "self" and class_name is not None:
+        return ".".join((class_name,) + parts[1:])
+    return ".".join(parts)
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Single-function pass: direct nestings, acquires, calls-under-lock."""
+
+    def __init__(self, module: SourceModule, class_name: Optional[str]) -> None:
+        self.module = module
+        self.class_name = class_name
+        self.held: List[str] = []
+        #: ordered edges (outer, inner, location) from direct nesting
+        self.edges: List[Tuple[str, str, _Location]] = []
+        #: locks this function acquires (with or .acquire) at any depth
+        self.acquired: Dict[str, _Location] = {}
+        #: same-lock nesting inside one function
+        self.reacquisitions: List[Tuple[str, _Location]] = []
+        #: calls made while holding locks: (held, callee candidates, loc)
+        self.calls_under_lock: List[
+            Tuple[Tuple[str, ...], _FuncKey, _Location]
+        ] = []
+
+    def _loc(self, node: ast.AST) -> _Location:
+        return (
+            self.module.path,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+        )
+
+    def _record_acquire(self, lock: str, node: ast.AST) -> None:
+        loc = self._loc(node)
+        self.acquired.setdefault(lock, loc)
+        if lock in self.held:
+            self.reacquisitions.append((lock, loc))
+            return
+        for outer in self.held:
+            self.edges.append((outer, lock, loc))
+
+    # -- traversal ------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are walked as their own functions
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        pushed: List[str] = []
+        for item in node.items:  # type: ignore[attr-defined]
+            self.visit(item.context_expr)
+            lock = _lock_id(item.context_expr, self.class_name)
+            if lock is not None:
+                self._record_acquire(lock, item.context_expr)
+                if lock not in self.held:
+                    self.held.append(lock)
+                    pushed.append(lock)
+        for stmt in node.body:  # type: ignore[attr-defined]
+            self.visit(stmt)
+        for lock in reversed(pushed):
+            self.held.remove(lock)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            lock = _lock_id(func.value, self.class_name)
+            if lock is not None:
+                self._record_acquire(lock, node)
+        if self.held:
+            callee = self._callee_key(func)
+            if callee is not None:
+                self.calls_under_lock.append(
+                    (tuple(self.held), callee, self._loc(node))
+                )
+        self.generic_visit(node)
+
+    def _callee_key(self, func: ast.AST) -> Optional[_FuncKey]:
+        """Resolve ``self.m(...)`` / bare ``f(...)`` one level deep."""
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and self.class_name is not None
+        ):
+            return (self.module.path, self.class_name, func.attr)
+        if isinstance(func, ast.Name):
+            return (self.module.path, None, func.id)
+        return None
+
+
+class LockOrderChecker(Checker):
+    rule = "lock-order"
+    hint = (
+        "acquire locks in one global order everywhere (see ROADMAP "
+        "Testing: merge-lock before mutate-lock before leaf locks); "
+        "restructure so one of the nestings releases first"
+    )
+
+    def __init__(self) -> None:
+        self._edges: Dict[Tuple[str, str], _Location] = {}
+        self._acquires: Dict[_FuncKey, Dict[str, _Location]] = {}
+        self._calls: List[Tuple[Tuple[str, ...], _FuncKey, _Location]] = []
+        self._direct_findings: List[Finding] = []
+
+    def collect(self, module: SourceModule) -> List[Finding]:
+        for class_name, func in iter_functions(module.tree):
+            walker = _FunctionWalker(module, class_name)
+            for stmt in func.body:  # type: ignore[attr-defined]
+                walker.visit(stmt)
+            name = func.name  # type: ignore[attr-defined]
+            key: _FuncKey = (module.path, class_name, name)
+            merged = self._acquires.setdefault(key, {})
+            for lock, loc in walker.acquired.items():
+                merged.setdefault(lock, loc)
+            if class_name is not None:
+                # bare-name propagation may resolve a method call made
+                # without ``self`` qualification inside the same module
+                alt = self._acquires.setdefault((module.path, None, name), {})
+                for lock, loc in walker.acquired.items():
+                    alt.setdefault(lock, loc)
+            for outer, inner, loc in walker.edges:
+                self._edges.setdefault((outer, inner), loc)
+            self._calls.extend(walker.calls_under_lock)
+            for lock, loc in walker.reacquisitions:
+                self._direct_findings.append(
+                    Finding(
+                        path=loc[0],
+                        line=loc[1],
+                        col=loc[2],
+                        rule=self.rule,
+                        message=(
+                            f"re-acquisition of non-reentrant lock {lock} "
+                            f"already held by this function"
+                        ),
+                        hint="threading.Lock self-deadlocks; release first "
+                        "or split the critical section",
+                    )
+                )
+        return []
+
+    def finalize(self) -> List[Finding]:
+        findings = list(self._direct_findings)
+        # one level of call-graph propagation
+        for held, callee, loc in self._calls:
+            callee_locks = self._acquires.get(callee)
+            if not callee_locks:
+                continue
+            for lock in sorted(callee_locks):
+                if lock in held:
+                    findings.append(
+                        Finding(
+                            path=loc[0],
+                            line=loc[1],
+                            col=loc[2],
+                            rule=self.rule,
+                            message=(
+                                f"call while holding {lock} reaches "
+                                f"{_fmt_func(callee)} which re-acquires it"
+                            ),
+                            hint="threading.Lock self-deadlocks; pass "
+                            "state out of the critical section instead",
+                        )
+                    )
+                else:
+                    for outer in held:
+                        self._edges.setdefault((outer, lock), loc)
+        findings.extend(self._cycle_findings())
+        return findings
+
+    # -- cycle detection ------------------------------------------------
+
+    def _cycle_findings(self) -> List[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for outer, inner in self._edges:
+            graph.setdefault(outer, set()).add(inner)
+            graph.setdefault(inner, set())
+        findings: List[Finding] = []
+        for component in _tarjan_sccs(graph):
+            if len(component) < 2:
+                continue
+            cycle = sorted(component)
+            involved = sorted(
+                (pair, loc)
+                for pair, loc in self._edges.items()
+                if pair[0] in component and pair[1] in component
+            )
+            where = "; ".join(
+                f"{a}->{b} at {loc[0]}:{loc[1]}" for (a, b), loc in involved
+            )
+            anchor = involved[0][1]
+            findings.append(
+                Finding(
+                    path=anchor[0],
+                    line=anchor[1],
+                    col=anchor[2],
+                    rule=self.rule,
+                    message=(
+                        "lock acquisition cycle (potential deadlock): "
+                        + " <-> ".join(cycle)
+                        + f" [{where}]"
+                    ),
+                    hint=self.hint,
+                )
+            )
+        return findings
+
+
+def _fmt_func(key: _FuncKey) -> str:
+    path, class_name, name = key
+    qual = f"{class_name}.{name}" if class_name else name
+    return f"{qual} ({path})"
+
+
+def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Iterative Tarjan strongly-connected components."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    sccs: List[Set[str]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_idx = work.pop()
+            if child_idx == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = sorted(graph.get(node, ()))
+            advanced = False
+            for i in range(child_idx, len(children)):
+                child = children[i]
+                if child not in index:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    component.add(top)
+                    if top == node:
+                        break
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs

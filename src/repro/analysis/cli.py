@@ -1,0 +1,96 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit status: 0 when every finding is grandfathered (or there are
+none), 1 when any new finding appears, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import (
+    all_checkers,
+    analyze_paths,
+    load_baseline,
+    partition_findings,
+    save_baseline,
+)
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser(prog: str = "repro.analysis") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description=(
+            "AST-based invariant linter: scope-threading, lock-order, "
+            "async-blocking, fixed-order-reduction, shm-lifecycle"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"grandfathered-findings file (default: {DEFAULT_BASELINE}; "
+        f"missing file means empty baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule ids and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-finding listing; status line only",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    checkers = all_checkers()
+    if options.list_rules:
+        for checker in checkers:
+            print(f"{checker.rule}: {checker.hint}")
+        return 0
+    findings = analyze_paths(options.paths, checkers)
+    if options.update_baseline:
+        save_baseline(options.baseline, findings)
+        print(
+            f"baseline {options.baseline} updated with "
+            f"{len(findings)} finding(s)"
+        )
+        return 0
+    baseline = load_baseline(options.baseline)
+    new, grandfathered = partition_findings(findings, baseline)
+    if not options.quiet:
+        for item in new:
+            print(item.render())
+    stale = sum(baseline.values()) - len(grandfathered)
+    summary: List[str] = [f"{len(new)} new finding(s)"]
+    if grandfathered:
+        summary.append(f"{len(grandfathered)} grandfathered")
+    if stale > 0:
+        summary.append(f"{stale} stale baseline entr(y/ies)")
+    print("repro.analysis: " + ", ".join(summary))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

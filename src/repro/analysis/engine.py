@@ -1,0 +1,279 @@
+"""Core of the invariant linter: findings, modules, checkers, baseline.
+
+The engine is deliberately small: it parses every ``.py`` file under
+the requested paths once, hands the parsed :class:`SourceModule` to
+each registered :class:`Checker`, and filters the resulting
+:class:`Finding` stream through inline ``# repro: noqa[RULE]``
+suppressions and the checked-in baseline.
+
+Checkers see two hooks:
+
+* :meth:`Checker.collect` -- called once per module the checker
+  :meth:`Checker.applies_to`; returns per-module findings.
+* :meth:`Checker.finalize` -- called once after every module has been
+  collected; returns cross-module findings (the lock-order checker
+  builds its global acquisition graph here).
+
+Baselines store line-independent fingerprints
+(``path::rule::message``) as a multiset, so a grandfathered finding
+survives unrelated edits that shift line numbers but a *second*
+instance of the same finding still fails the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Checker",
+    "all_checkers",
+    "iter_python_files",
+    "load_module",
+    "analyze_paths",
+    "load_baseline",
+    "save_baseline",
+    "partition_findings",
+]
+
+#: inline suppression syntax: ``# repro: noqa[rule-a,rule-b]``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``fingerprint`` drops the line/column so baseline entries survive
+    unrelated edits; two findings with the same message in the same
+    file are the same fingerprint, which is why the baseline is a
+    multiset rather than a set.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus the lookaside data checkers need."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    #: line number -> set of suppressed rule ids ("*" suppresses all)
+    noqa: Dict[int, frozenset] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """Normalised path components, used for directory scoping."""
+        return tuple(p for p in self.path.replace("\\", "/").split("/") if p)
+
+    def in_dir(self, *names: str) -> bool:
+        """True if any path component matches one of ``names``."""
+        return any(p in names for p in self.parts[:-1])
+
+    def is_file(self, name: str) -> bool:
+        return self.parts[-1] == name if self.parts else False
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.noqa.get(line)
+        return bool(rules) and ("*" in rules or rule in rules)
+
+
+class Checker:
+    """Base class for a lint rule.
+
+    Subclasses set ``rule`` (the id used in findings, ``noqa`` tags and
+    baselines) and ``hint`` (the default fix guidance), override
+    :meth:`applies_to` to scope themselves to the directories their
+    invariant governs, and implement :meth:`collect` (per-module) and
+    optionally :meth:`finalize` (cross-module, after all collects).
+    """
+
+    rule: str = ""
+    hint: str = ""
+
+    def applies_to(self, module: SourceModule) -> bool:
+        return True
+
+    def collect(self, module: SourceModule) -> List[Finding]:
+        return []
+
+    def finalize(self) -> List[Finding]:
+        return []
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker.
+
+    New instances per run: cross-module checkers carry state between
+    :meth:`Checker.collect` calls.
+    """
+    from .checkers import CHECKERS
+
+    return [cls() for cls in CHECKERS]
+
+
+def _parse_noqa(source: str) -> Dict[int, frozenset]:
+    noqa: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        raw = match.group(1).strip()
+        if not raw:
+            rules = frozenset({"*"})
+        else:
+            rules = frozenset(r.strip() for r in raw.split(",") if r.strip())
+        if rules:
+            noqa[lineno] = rules
+    return noqa
+
+
+def load_module(path: str) -> SourceModule:
+    """Parse ``path`` into a :class:`SourceModule`.
+
+    Raises :class:`SyntaxError` on unparseable source; the caller turns
+    that into an unsuppressible ``syntax-error`` finding.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    return SourceModule(path=path, tree=tree, source=source, noqa=_parse_noqa(source))
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: Dict[str, None] = {}
+    for path in paths:
+        if os.path.isfile(path):
+            seen.setdefault(os.path.normpath(path), None)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in {"__pycache__", ".git"}
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    seen.setdefault(os.path.normpath(os.path.join(dirpath, name)), None)
+    return sorted(seen)
+
+
+def analyze_paths(
+    paths: Sequence[str], checkers: Optional[Iterable[Checker]] = None
+) -> List[Finding]:
+    """Run every checker over every python file under ``paths``.
+
+    Returns findings with inline ``noqa`` suppressions already applied,
+    sorted by location.  Baseline filtering is the caller's job (see
+    :func:`partition_findings`) so ``--update-baseline`` can see the
+    full stream.
+    """
+    active = list(checkers) if checkers is not None else all_checkers()
+    modules: List[SourceModule] = []
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    rule="syntax-error",
+                    message=f"could not parse: {exc.msg}",
+                    hint="fix the syntax error; analysis cannot see this file",
+                )
+            )
+    by_path = {m.path: m for m in modules}
+    for checker in active:
+        raw: List[Finding] = []
+        for module in modules:
+            if checker.applies_to(module):
+                raw.extend(checker.collect(module))
+        raw.extend(checker.finalize())
+        for item in raw:
+            module = by_path.get(item.path)
+            if module is not None and module.suppressed(item.line, item.rule):
+                continue
+            findings.append(item)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings
+
+
+def load_baseline(path: str) -> Counter:
+    """Load the grandfathered-finding multiset; missing file == empty."""
+    if not os.path.exists(path):
+        return Counter()
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list) or not all(isinstance(x, str) for x in data):
+        raise ValueError(f"baseline {path!r} must be a JSON list of fingerprints")
+    return Counter(data)
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    fingerprints = sorted(f.fingerprint for f in findings)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fingerprints, handle, indent=2)
+        handle.write("\n")
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, grandfathered) against the baseline.
+
+    Multiset semantics: each baseline entry absorbs at most one finding
+    with that fingerprint, so adding a second instance of a
+    grandfathered violation still fails.
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for item in findings:
+        if remaining[item.fingerprint] > 0:
+            remaining[item.fingerprint] -= 1
+            old.append(item)
+        else:
+            new.append(item)
+    return new, old

@@ -185,6 +185,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "(requires --replication-factor > 1)",
     )
     serve.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter (python -m repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--baseline", default=None,
+        help="grandfathered-findings file (default: analysis-baseline.json)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rule ids and exit",
+    )
+    lint.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-finding listing; status line only",
+    )
     return parser
 
 
@@ -493,7 +518,24 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiment(args.name)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 1  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.cli import main as lint_main
+
+    forwarded: list[str] = list(args.paths)
+    if args.baseline is not None:
+        forwarded += ["--baseline", args.baseline]
+    if args.update_baseline:
+        forwarded.append("--update-baseline")
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    if args.quiet:
+        forwarded.append("--quiet")
+    return lint_main(forwarded)
 
 
 if __name__ == "__main__":
