@@ -179,9 +179,11 @@ def shared_memory_available() -> bool:
             from multiprocessing import shared_memory
 
             probe = shared_memory.SharedMemory(create=True, size=8)
-            probe.close()
-            probe.unlink()
-            _shm_probe_result = True
+            try:
+                _shm_probe_result = True
+            finally:
+                probe.close()
+                probe.unlink()
         except Exception:
             _shm_probe_result = False
     return _shm_probe_result
