@@ -155,7 +155,9 @@ class MahalanobisDivergence(BregmanDivergence):
         return float(0.5 * x @ self.matrix @ x)
 
     def gradient(self, x: np.ndarray) -> np.ndarray:
-        return self.matrix @ np.asarray(x, dtype=float)
+        # single-point d x d matvec: operand shapes are fixed by the
+        # divergence's dimension, never by batch composition
+        return self.matrix @ np.asarray(x, dtype=float)  # repro: noqa[fixed-order-reduction]
 
     def divergence(self, x: np.ndarray, y: np.ndarray) -> float:
         diff = np.asarray(x, dtype=float) - np.asarray(y, dtype=float)
