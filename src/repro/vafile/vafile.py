@@ -126,41 +126,40 @@ class VAFileIndex:
         if not 1 <= k <= n:
             raise InvalidParameterError(f"k must be in [1, {n}], got {k}")
 
-        self.tracker.start_query()
         start = time.perf_counter()
+        with self.tracker.scope() as scope:
+            # Phase 1: scan all approximations (sequential I/O).
+            for page in range(self._va_pages):
+                self.tracker.read_page(self._va_fileno, page, scope=scope)
 
-        # Phase 1: scan all approximations (sequential I/O).
-        for page in range(self._va_pages):
-            self.tracker.read_page(self._va_fileno, page)
+            grad = self.divergence.gradient(query)
+            weights = np.concatenate([-grad, [1.0]])
+            kappa = float(np.dot(grad, query)) - self.divergence.generator(query)
 
-        grad = self.divergence.gradient(query)
-        weights = np.concatenate([-grad, [1.0]])
-        kappa = float(np.dot(grad, query)) - self.divergence.generator(query)
+            positive = weights > 0.0
+            lower = (
+                self._cell_low[:, positive] @ weights[positive]
+                + self._cell_high[:, ~positive] @ weights[~positive]
+                + kappa
+            )
+            upper = (
+                self._cell_high[:, positive] @ weights[positive]
+                + self._cell_low[:, ~positive] @ weights[~positive]
+                + kappa
+            )
+            # Divergences are non-negative; tighten the trivial bound.
+            lower = np.maximum(lower, 0.0)
 
-        positive = weights > 0.0
-        lower = (
-            self._cell_low[:, positive] @ weights[positive]
-            + self._cell_high[:, ~positive] @ weights[~positive]
-            + kappa
-        )
-        upper = (
-            self._cell_high[:, positive] @ weights[positive]
-            + self._cell_low[:, ~positive] @ weights[~positive]
-            + kappa
-        )
-        # Divergences are non-negative; tighten the trivial bound.
-        lower = np.maximum(lower, 0.0)
+            kth_upper = np.partition(upper, k - 1)[k - 1]
+            candidates = np.flatnonzero(lower <= kth_upper)
 
-        kth_upper = np.partition(upper, k - 1)[k - 1]
-        candidates = np.flatnonzero(lower <= kth_upper)
+            # Phase 2: fetch candidates and refine exactly.
+            vectors = self.datastore.fetch(candidates, scope=scope)
+            exact = self.divergence.batch_divergence(vectors, query)
+            order = np.argsort(exact)[:k]
 
-        # Phase 2: fetch candidates and refine exactly.
-        vectors = self.datastore.fetch(candidates)
-        exact = self.divergence.batch_divergence(vectors, query)
-        order = np.argsort(exact)[:k]
-
-        elapsed = time.perf_counter() - start
-        snapshot = self.tracker.end_query()
+            elapsed = time.perf_counter() - start
+            snapshot = scope.snapshot()
         stats = QueryStats(
             pages_read=snapshot.pages_read,
             cpu_seconds=elapsed,
