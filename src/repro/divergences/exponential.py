@@ -117,7 +117,12 @@ class ExponentialDistance(DecomposableBregmanDivergence):
         )
 
     def _grouped_pairs(
-        self, terms, points, queries, point_index, query_index
+        self,
+        terms: tuple,
+        points: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
     ) -> np.ndarray:
         sum_ex, eq, qconst = terms
         return (

@@ -83,7 +83,12 @@ class ItakuraSaito(DecomposableBregmanDivergence):
         )
 
     def _grouped_pairs(
-        self, terms, points, queries, point_index, query_index
+        self,
+        terms: tuple,
+        points: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
     ) -> np.ndarray:
         log_x, inv_q, log_q = terms
         return (

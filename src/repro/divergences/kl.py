@@ -98,7 +98,12 @@ class GeneralizedKL(DecomposableBregmanDivergence):
         )
 
     def _grouped_pairs(
-        self, terms, points, queries, point_index, query_index
+        self,
+        terms: tuple,
+        points: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
     ) -> np.ndarray:
         xlogx, log_q, sum_x, sum_q = terms
         return (

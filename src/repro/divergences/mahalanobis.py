@@ -110,7 +110,12 @@ class DiagonalMahalanobis(DecomposableBregmanDivergence):
         )
 
     def _grouped_pairs(
-        self, terms, points, queries, point_index, query_index
+        self,
+        terms: tuple,
+        points: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
     ) -> np.ndarray:
         xx, weighted_q, qq = terms
         values = (

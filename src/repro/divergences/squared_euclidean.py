@@ -75,7 +75,12 @@ class SquaredEuclidean(DecomposableBregmanDivergence):
         )
 
     def _grouped_pairs(
-        self, terms, points, queries, point_index, query_index
+        self,
+        terms: tuple,
+        points: np.ndarray,
+        queries: np.ndarray,
+        point_index: np.ndarray,
+        query_index: np.ndarray,
     ) -> np.ndarray:
         xx, qq = terms
         return (

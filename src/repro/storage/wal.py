@@ -51,7 +51,7 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import IO, List, Optional
 
 import numpy as np
 
@@ -178,6 +178,7 @@ class WriteAheadLog:
         #: group is collecting); guarded by ``_lock``.
         self._group: Optional[threading.Event] = None
         self._lock = threading.Lock()
+        self._file: IO[bytes]
         if fresh:
             self._file = open(self.path, "wb")
             self._file.write(_MAGIC)
@@ -214,12 +215,13 @@ class WriteAheadLog:
         if version < 0:
             raise InvalidParameterError("WAL versions must be non-negative")
         record = _encode(op, version, payload)
+        window = self.group_commit_s
         with self._lock:
             if self._file.closed:
                 raise WALError(f"write-ahead log {self.path!r} is closed")
             self._file.write(record)
             self.last_version = max(self.last_version, version)
-            if self.group_commit_s is None:
+            if window is None:
                 self._flush_locked()
                 return
             if self._group is None:
@@ -232,7 +234,7 @@ class WriteAheadLog:
                 leader = False
                 self.n_group_followers += 1
         if leader:
-            time.sleep(self.group_commit_s)
+            time.sleep(window)
             with self._lock:
                 self._group = None
                 if not self._file.closed:
@@ -321,7 +323,7 @@ class WriteAheadLog:
             with open(tmp, "wb") as fh:
                 fh.write(_MAGIC)
                 for r in keep:
-                    if r.op == OP_INSERT:
+                    if r.op == OP_INSERT and r.point is not None:
                         payload = _PID.pack(r.pid) + r.point.tobytes()
                     else:
                         payload = _PID.pack(r.pid)
