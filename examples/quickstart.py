@@ -6,6 +6,15 @@ Itakura-Saito distance, runs a query, and checks the answer against a
 brute-force scan.
 
 Run:  python examples/quickstart.py
+
+Contributing?  The codebase's concurrency/determinism contracts are
+machine-checked: run ``PYTHONPATH=src python -m repro.analysis src``
+(or ``python -m repro.cli lint``) before pushing.  Rule ids:
+scope-threading, lock-order, async-blocking, fixed-order-reduction,
+shm-lifecycle.  Suppress a deliberate exception inline with
+``# repro: noqa[RULE]`` plus a one-line justification; see the
+Testing section of ROADMAP.md for what each rule enforces and how to
+add a checker.
 """
 
 import asyncio
